@@ -1,0 +1,66 @@
+// Command datagen emits the evaluation datasets of the DDSketch paper
+// (§4.1) to stdout, one value per line, for piping into cmd/ddsketch or
+// external tools.
+//
+// Usage:
+//
+//	datagen -dataset pareto -n 1000000
+//	datagen -dataset span -n 2000000 -seed 7 | ddsketch -q 0.99
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "pareto",
+		"dataset to generate: "+strings.Join(datagen.Names(), ", ")+", or latency")
+	n := flag.Int("n", 1_000_000, "number of values")
+	seed := flag.Uint64("seed", 0, "override the dataset's default seed (0 keeps it)")
+	flag.Parse()
+
+	var values []float64
+	switch {
+	case *dataset == "latency":
+		s := *seed
+		if s == 0 {
+			s = 1
+		}
+		values = datagen.Latency(*n, s)
+	case *seed != 0:
+		switch *dataset {
+		case "pareto":
+			values = datagen.ParetoSeeded(*n, *seed)
+		case "span":
+			values = datagen.SpanSeeded(*n, *seed)
+		case "power":
+			values = datagen.PowerSeeded(*n, *seed)
+		}
+	default:
+		values = datagen.ByName(*dataset, *n)
+	}
+	if values == nil {
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q (known: %s, latency)\n",
+			*dataset, strings.Join(datagen.Names(), ", "))
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	buf := make([]byte, 0, 32)
+	for _, v := range values {
+		buf = strconv.AppendFloat(buf[:0], v, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command ddbench regenerates the tables and figures of the DDSketch
+// paper's evaluation (§4).
+//
+// Usage:
+//
+//	ddbench -experiment fig6              # one experiment
+//	ddbench -experiment all -n 10000000   # everything, at 10^7 values
+//
+// Each experiment prints the same rows/series the paper plots, as an
+// aligned text table. The default N of 10^6 keeps a full run fast; the
+// paper's axes reach 10^8 (10^10 for Figure 7) and can be approached
+// with -n at the cost of runtime and memory for the exact-quantile
+// baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: "+strings.Join(harness.IDs(), ", ")+", or all")
+	n := flag.Int("n", harness.DefaultConfig().N, "maximum number of values per dataset")
+	seed := flag.Uint64("seed", 1, "seed for the dataset generators")
+	timing := flag.Bool("time", false, "print wall-clock time per experiment")
+	flag.Parse()
+
+	cfg := harness.Config{N: *n, Seed: *seed}
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		results, err := harness.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddbench:", err)
+			os.Exit(2)
+		}
+		for _, r := range results {
+			if err := r.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "ddbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *timing {
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

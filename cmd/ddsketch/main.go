@@ -1,0 +1,125 @@
+// Command ddsketch is a Unix filter around the DDSketch library: it
+// reads one value per line from stdin, sketches them, and prints summary
+// statistics and the requested quantiles.
+//
+// Usage:
+//
+//	datagen -dataset span -n 1000000 | ddsketch -q 0.5,0.95,0.99
+//	ddsketch -alpha 0.005 -quiet -save sketch.bin < values.txt
+//	ddsketch -load sketch.bin -load other.bin -q 0.99   # merge saved sketches
+//
+// Saved sketches use the library's binary encoding, so sketches written
+// on different hosts (by this tool or by the library embedded in an
+// application) merge losslessly — the aggregation workflow from the
+// paper's introduction.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	alpha := flag.Float64("alpha", 0.01, "relative accuracy of the sketch")
+	maxBins := flag.Int("bins", 2048, "maximum number of buckets per store")
+	quantilesArg := flag.String("q", "0.5,0.75,0.9,0.95,0.99", "comma-separated quantiles to report")
+	save := flag.String("save", "", "write the binary-encoded sketch to this file")
+	quiet := flag.Bool("quiet", false, "suppress the summary output")
+	var loads multiFlag
+	flag.Var(&loads, "load", "load and merge a saved sketch (repeatable); skips stdin if no data is piped")
+	flag.Parse()
+
+	sketch, err := ddsketch.NewCollapsing(*alpha, *maxBins)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, path := range loads {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sketch.DecodeAndMergeWith(data); err != nil {
+			fatal(fmt.Errorf("merging %s: %w", path, err))
+		}
+	}
+
+	// Read stdin when it is a pipe/file, or when nothing was loaded.
+	stat, _ := os.Stdin.Stat()
+	readStdin := len(loads) == 0 || (stat.Mode()&os.ModeCharDevice) == 0
+	if readStdin {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		line := 0
+		for scanner.Scan() {
+			line++
+			text := strings.TrimSpace(scanner.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: %w", line, err))
+			}
+			if err := sketch.Add(v); err != nil {
+				fatal(fmt.Errorf("line %d: %w", line, err))
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *save != "" {
+		if err := os.WriteFile(*save, sketch.Encode(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *quiet {
+		return
+	}
+	if sketch.IsEmpty() {
+		fmt.Println("no values")
+		return
+	}
+
+	min, _ := sketch.Min()
+	max, _ := sketch.Max()
+	avg, _ := sketch.Avg()
+	fmt.Printf("count  %.0f\n", sketch.Count())
+	fmt.Printf("min    %g\n", min)
+	fmt.Printf("avg    %g\n", avg)
+	fmt.Printf("max    %g\n", max)
+	fmt.Printf("bins   %d (collapsed: %t)\n", sketch.NumBins(), sketch.Collapsed())
+	for _, field := range strings.Split(*quantilesArg, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			fatal(fmt.Errorf("quantile %q: %w", field, err))
+		}
+		v, err := sketch.Quantile(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("p%-5s %g\n", strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", q*100), "0"), "."), v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddsketch:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+package ddsketch
+
+import "sync"
+
+// Concurrent wraps a DDSketch with a reader/writer mutex so that many
+// goroutines can record values while others query quantiles — the shape
+// of a metrics agent, where request handlers insert and a flusher
+// periodically serializes and resets.
+type Concurrent struct {
+	mu     sync.RWMutex
+	sketch *DDSketch
+}
+
+// NewConcurrent returns a concurrency-safe wrapper around sketch, taking
+// ownership of it: the caller must not use sketch directly afterwards.
+func NewConcurrent(sketch *DDSketch) *Concurrent {
+	return &Concurrent{sketch: sketch}
+}
+
+// Add inserts a value into the sketch.
+func (c *Concurrent) Add(value float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Add(value)
+}
+
+// AddWithCount inserts a value with the given weight.
+func (c *Concurrent) AddWithCount(value, count float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.AddWithCount(value, count)
+}
+
+// Delete removes one previously added occurrence of value.
+func (c *Concurrent) Delete(value float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Delete(value)
+}
+
+// Quantile returns an α-accurate estimate of the q-quantile.
+//
+// Queries take the write lock: several stores mutate internal state
+// (buffer flushes, range-hint refreshes) while scanning.
+func (c *Concurrent) Quantile(q float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Quantile(q)
+}
+
+// Quantiles returns α-accurate estimates for each of the given quantiles,
+// all computed against the same consistent snapshot.
+func (c *Concurrent) Quantiles(qs []float64) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Quantiles(qs)
+}
+
+// Count returns the total weight held by the sketch.
+func (c *Concurrent) Count() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.Count()
+}
+
+// IsEmpty reports whether the sketch holds no values.
+func (c *Concurrent) IsEmpty() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.IsEmpty()
+}
+
+// Min returns the exact minimum inserted value.
+func (c *Concurrent) Min() (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.Min()
+}
+
+// Max returns the exact maximum inserted value.
+func (c *Concurrent) Max() (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.Max()
+}
+
+// Sum returns the exact sum of inserted values.
+func (c *Concurrent) Sum() (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.Sum()
+}
+
+// Avg returns the exact average of inserted values.
+func (c *Concurrent) Avg() (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sketch.Avg()
+}
+
+// MergeWith folds other into the wrapped sketch.
+func (c *Concurrent) MergeWith(other *DDSketch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.MergeWith(other)
+}
+
+// Snapshot returns a deep copy of the wrapped sketch, for lock-free
+// querying or serialization.
+func (c *Concurrent) Snapshot() *DDSketch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Copy()
+}
+
+// Flush returns a deep copy of the wrapped sketch and clears it
+// atomically — the agent "send and reset" operation from the paper's
+// introduction.
+func (c *Concurrent) Flush() *DDSketch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snapshot := c.sketch.Copy()
+	c.sketch.Clear()
+	return snapshot
+}
+
+// Encode returns a binary serialization of a consistent snapshot.
+func (c *Concurrent) Encode() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.Encode()
+}

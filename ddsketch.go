@@ -1,0 +1,589 @@
+// Package ddsketch implements DDSketch, a fast and fully-mergeable
+// quantile sketch with relative-error guarantees, as described in
+//
+//	Charles Masson, Jee E. Rim, Homin K. Lee.
+//	"DDSketch: A Fast and Fully-Mergeable Quantile Sketch with
+//	Relative-Error Guarantees". PVLDB 12(12): 2195–2205, 2019.
+//
+// A DDSketch with relative accuracy α returns, for any quantile q, an
+// estimate x̃q with |x̃q − xq| ≤ α·xq (Definition 1 / Proposition 3 of
+// the paper). It does so by counting values in geometrically sized
+// buckets (γ^(i−1), γ^i] with γ = (1+α)/(1−α). Because the bucket
+// boundaries do not depend on the data, sketches sharing a mapping merge
+// exactly by adding bucket counts, making the sketch fully mergeable —
+// the property that lets a fleet of agents each sketch their local
+// traffic and a central system aggregate them losslessly.
+//
+// The sketch handles all of ℝ: positive and negative values go to two
+// separate stores and zero (plus anything too small to index) has a
+// dedicated counter (§2.2 of the paper). Memory can be bounded with
+// collapsing stores (Algorithms 3–4), which sacrifice the lowest
+// quantiles first; Proposition 4 quantifies the quantiles that remain
+// accurate.
+//
+// Basic usage:
+//
+//	sketch, err := ddsketch.NewCollapsing(0.01, 2048)
+//	if err != nil { ... }
+//	for _, latency := range latencies {
+//		if err := sketch.Add(latency); err != nil { ... }
+//	}
+//	p99, err := sketch.Quantile(0.99)
+//
+// The sub-packages mapping and store expose the building blocks for
+// custom configurations (faster mappings, sparse stores, …); see
+// NewWithConfig.
+package ddsketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// Errors returned by the sketch.
+var (
+	// ErrEmptySketch is returned by queries that are undefined on a
+	// sketch holding no values.
+	ErrEmptySketch = errors.New("ddsketch: empty sketch")
+	// ErrQuantileOutOfRange is returned when q is outside [0, 1].
+	ErrQuantileOutOfRange = errors.New("ddsketch: quantile must be between 0 and 1")
+	// ErrValueOutOfRange is returned when a value's magnitude exceeds the
+	// mapping's indexable range, or the value is NaN or infinite.
+	ErrValueOutOfRange = errors.New("ddsketch: value cannot be indexed by the sketch's mapping")
+	// ErrNegativeCount is returned when a weighted insertion has a
+	// negative or NaN count.
+	ErrNegativeCount = errors.New("ddsketch: count must be positive")
+	// ErrIncompatibleSketches is returned when merging sketches whose
+	// mappings differ, which would void the accuracy guarantee.
+	ErrIncompatibleSketches = errors.New("ddsketch: cannot merge sketches with different mappings")
+)
+
+// DDSketch is a quantile sketch with relative-error guarantees.
+//
+// A DDSketch is not safe for concurrent use; wrap it in a Concurrent
+// sketch (see NewConcurrent) to share one across goroutines.
+type DDSketch struct {
+	mapping   mapping.IndexMapping
+	positive  store.Store // counts of positive values, by mapping index of v
+	negative  store.Store // counts of negative values, by mapping index of −v
+	zeroCount float64     // values equal to (or indistinguishable from) zero
+
+	// Exact running statistics (§2.2: "it is useful to keep separate
+	// track of the minimum and maximum values"). min/max are not
+	// adjusted by deletions.
+	min float64
+	max float64
+	sum float64
+}
+
+// New returns a sketch with the given relative accuracy α ∈ (0, 1),
+// using the memory-optimal logarithmic mapping and unbounded dense
+// stores. Its size grows with the number of distinct bucket indexes
+// (O(log of the data's dynamic range)); use NewCollapsing to bound it.
+func New(relativeAccuracy float64) (*DDSketch, error) {
+	m, err := mapping.NewLogarithmic(relativeAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConfig(m, store.DenseStoreProvider(), store.DenseStoreProvider()), nil
+}
+
+// NewCollapsing returns the paper's bounded-size DDSketch: relative
+// accuracy α, at most maxBins buckets per store, collapsing the buckets
+// of lowest indexes when full (Algorithm 3). The negative-value store
+// collapses its highest indexes so that, globally, the lowest quantiles
+// degrade first. With α = 0.01 and maxBins = 2048 the sketch covers
+// values from 80 microseconds to 1 year without collapsing (§2.2).
+func NewCollapsing(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
+	m, err := mapping.NewLogarithmic(relativeAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConfig(m,
+		store.CollapsingLowestProvider(maxBins),
+		store.CollapsingHighestProvider(maxBins)), nil
+}
+
+// NewCollapsingHighest mirrors NewCollapsing, collapsing the buckets of
+// highest indexes instead, for workloads where the lowest quantiles
+// matter most.
+func NewCollapsingHighest(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
+	m, err := mapping.NewLogarithmic(relativeAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConfig(m,
+		store.CollapsingHighestProvider(maxBins),
+		store.CollapsingLowestProvider(maxBins)), nil
+}
+
+// NewFast returns the "DDSketch (fast)" configuration benchmarked in §4
+// of the paper: a linearly interpolated mapping that avoids computing
+// logarithms on insertion, in exchange for ≈44% more buckets to cover the
+// same range.
+func NewFast(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
+	m, err := mapping.NewLinearlyInterpolated(relativeAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConfig(m,
+		store.CollapsingLowestProvider(maxBins),
+		store.CollapsingHighestProvider(maxBins)), nil
+}
+
+// NewSparse returns an unbounded sketch whose memory is proportional to
+// the number of non-empty buckets, trading insertion speed for space
+// (§2.2's sparse implementation).
+func NewSparse(relativeAccuracy float64) (*DDSketch, error) {
+	m, err := mapping.NewLogarithmic(relativeAccuracy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithConfig(m, store.SparseStoreProvider(), store.SparseStoreProvider()), nil
+}
+
+// NewWithConfig assembles a sketch from an index mapping and store
+// providers for the positive- and negative-value stores.
+func NewWithConfig(m mapping.IndexMapping, positive, negative store.Provider) *DDSketch {
+	return &DDSketch{
+		mapping:  m,
+		positive: positive(),
+		negative: negative(),
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+	}
+}
+
+// RelativeAccuracy returns the sketch's accuracy parameter α.
+func (s *DDSketch) RelativeAccuracy() float64 { return s.mapping.RelativeAccuracy() }
+
+// IndexMapping returns the sketch's index mapping.
+func (s *DDSketch) IndexMapping() mapping.IndexMapping { return s.mapping }
+
+// Add inserts a value into the sketch (the paper's Algorithm 1, extended
+// to all of ℝ). It returns ErrValueOutOfRange for NaN, infinities, and
+// magnitudes beyond the mapping's indexable range; magnitudes too small
+// to index are counted as zero.
+func (s *DDSketch) Add(value float64) error { return s.AddWithCount(value, 1) }
+
+// AddWithCount inserts a value with the given weight, which must be
+// positive. Weighted insertion is what makes pre-aggregated inputs (for
+// example, a count of identical timeouts) cheap to record.
+func (s *DDSketch) AddWithCount(value, count float64) error {
+	if math.IsNaN(count) || count <= 0 {
+		return fmt.Errorf("%w: got %v", ErrNegativeCount, count)
+	}
+	if err := s.apply(value, count); err != nil {
+		return err
+	}
+	if value < s.min {
+		s.min = value
+	}
+	if value > s.max {
+		s.max = value
+	}
+	s.sum += value * count
+	return nil
+}
+
+// apply routes a (possibly negative-count) update to the right store.
+func (s *DDSketch) apply(value, count float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: got %v", ErrValueOutOfRange, value)
+	}
+	magnitude := math.Abs(value)
+	switch {
+	case magnitude < s.mapping.MinIndexableValue():
+		// Zero and anything within floating-point error of it (§2.2).
+		s.zeroCount += count
+		if s.zeroCount < 0 {
+			s.zeroCount = 0
+		}
+	case magnitude > s.mapping.MaxIndexableValue():
+		return fmt.Errorf("%w: got %v, max indexable magnitude is %v",
+			ErrValueOutOfRange, value, s.mapping.MaxIndexableValue())
+	case value > 0:
+		s.positive.AddWithCount(s.mapping.Index(magnitude), count)
+	default:
+		s.negative.AddWithCount(s.mapping.Index(magnitude), count)
+	}
+	return nil
+}
+
+// Delete removes one previously added occurrence of value. Deleting
+// values that were never inserted leaves the sketch in a valid state but
+// may make counts inconsistent with the data; Min and Max are not
+// adjusted by deletions. Deletion is exact at the bucket level because
+// bucket boundaries are data-independent (§2.1: "Deletion works
+// similarly").
+func (s *DDSketch) Delete(value float64) error { return s.DeleteWithCount(value, 1) }
+
+// DeleteWithCount removes the given weight of value from the sketch.
+func (s *DDSketch) DeleteWithCount(value, count float64) error {
+	if math.IsNaN(count) || count <= 0 {
+		return fmt.Errorf("%w: got %v", ErrNegativeCount, count)
+	}
+	if err := s.apply(value, -count); err != nil {
+		return err
+	}
+	s.sum -= value * count
+	if s.IsEmpty() {
+		s.min = math.Inf(1)
+		s.max = math.Inf(-1)
+		s.sum = 0
+	}
+	return nil
+}
+
+// Count returns the total weight held by the sketch.
+func (s *DDSketch) Count() float64 {
+	return s.zeroCount + s.positive.TotalCount() + s.negative.TotalCount()
+}
+
+// IsEmpty reports whether the sketch holds no values.
+func (s *DDSketch) IsEmpty() bool { return s.Count() <= 0 }
+
+// ZeroCount returns the weight of values recorded as zero.
+func (s *DDSketch) ZeroCount() float64 { return s.zeroCount }
+
+// Sum returns the exact sum of all inserted values (adjusted by
+// deletions).
+func (s *DDSketch) Sum() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.sum, nil
+}
+
+// Avg returns the exact average of all inserted values.
+func (s *DDSketch) Avg() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.sum / s.Count(), nil
+}
+
+// Min returns the exact minimum inserted value (not adjusted by
+// deletions).
+func (s *DDSketch) Min() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.min, nil
+}
+
+// Max returns the exact maximum inserted value (not adjusted by
+// deletions).
+func (s *DDSketch) Max() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.max, nil
+}
+
+// Quantile returns an α-accurate estimate of the q-quantile of the
+// inserted values (the paper's Algorithm 2 and Proposition 3): the
+// returned value x̃ satisfies |x̃ − xq| ≤ α·|xq|, where xq is the value
+// of rank ⌊1 + q(n−1)⌋, provided the bucket holding xq has not been
+// collapsed (Proposition 4).
+func (s *DDSketch) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: got %v", ErrQuantileOutOfRange, q)
+	}
+	count := s.Count()
+	if count <= 0 {
+		return 0, ErrEmptySketch
+	}
+	rank := q * (count - 1)
+	negCount := s.negative.TotalCount()
+
+	var value float64
+	switch {
+	case rank < negCount:
+		// Within the negatives, ascending value order is descending
+		// magnitude order, so the lower-quantile scan of Algorithm 2 runs
+		// from the highest magnitude bucket downward.
+		key, err := s.negative.KeyAtRankDescending(rank)
+		if err != nil {
+			return 0, err
+		}
+		value = -s.mapping.Value(key)
+	case rank < negCount+s.zeroCount:
+		value = 0
+	default:
+		key, err := s.positive.KeyAtRank(rank - negCount - s.zeroCount)
+		if err != nil {
+			return 0, err
+		}
+		value = s.mapping.Value(key)
+	}
+	// The exact extrema tighten the estimate at the edges without ever
+	// moving it away from the true quantile.
+	return math.Max(s.min, math.Min(s.max, value)), nil
+}
+
+// Quantiles returns α-accurate estimates for each of the given
+// quantiles.
+func (s *DDSketch) Quantiles(qs []float64) ([]float64, error) {
+	values := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, fmt.Errorf("quantile %v: %w", q, err)
+		}
+		values[i] = v
+	}
+	return values, nil
+}
+
+// CDF returns an estimate of the fraction of inserted values that are
+// less than or equal to value. The estimate counts whole buckets, so its
+// rank resolution is one bucket.
+func (s *DDSketch) CDF(value float64) (float64, error) {
+	count := s.Count()
+	if count <= 0 {
+		return 0, ErrEmptySketch
+	}
+	if math.IsNaN(value) {
+		return 0, fmt.Errorf("%w: got %v", ErrValueOutOfRange, value)
+	}
+	negCount := s.negative.TotalCount()
+	cum := 0.0
+	switch {
+	case value >= 0:
+		cum = negCount + s.zeroCount
+		if value > 0 {
+			index := indexOrBoundary(s.mapping, value)
+			s.positive.ForEach(func(i int, c float64) bool {
+				if i > index {
+					return false
+				}
+				cum += c
+				return true
+			})
+		}
+	default:
+		// Count negatives with magnitude ≥ |value|, i.e. indexes ≥ the
+		// index of |value|.
+		index := indexOrBoundary(s.mapping, -value)
+		s.negative.ForEach(func(i int, c float64) bool {
+			if i >= index {
+				cum += c
+			}
+			return true
+		})
+	}
+	return cum / count, nil
+}
+
+// indexOrBoundary indexes a positive magnitude, clamping magnitudes
+// outside the indexable range to the corresponding extreme index so CDF
+// queries never fail.
+func indexOrBoundary(m mapping.IndexMapping, magnitude float64) int {
+	switch {
+	case magnitude < m.MinIndexableValue():
+		return math.MinInt64 / 2
+	case magnitude > m.MaxIndexableValue():
+		return math.MaxInt64 / 2
+	default:
+		return m.Index(magnitude)
+	}
+}
+
+// MergeWith folds other into s (the paper's Algorithm 4): bucket counts
+// add exactly, so the merged sketch answers queries exactly as a single
+// sketch of the combined data would, up to collapsing. other is not
+// modified. Merging requires both sketches to use equal mappings.
+func (s *DDSketch) MergeWith(other *DDSketch) error {
+	if !s.mapping.Equals(other.mapping) {
+		return fmt.Errorf("%w: %v vs %v", ErrIncompatibleSketches, s.mapping, other.mapping)
+	}
+	s.positive.MergeWith(other.positive)
+	s.negative.MergeWith(other.negative)
+	s.zeroCount += other.zeroCount
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.sum += other.sum
+	return nil
+}
+
+// Copy returns a deep copy of the sketch.
+func (s *DDSketch) Copy() *DDSketch {
+	return &DDSketch{
+		mapping:   s.mapping,
+		positive:  s.positive.Copy(),
+		negative:  s.negative.Copy(),
+		zeroCount: s.zeroCount,
+		min:       s.min,
+		max:       s.max,
+		sum:       s.sum,
+	}
+}
+
+// Clear empties the sketch, keeping its configuration and allocated
+// capacity.
+func (s *DDSketch) Clear() {
+	s.positive.Clear()
+	s.negative.Clear()
+	s.zeroCount = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+	s.sum = 0
+}
+
+// NumBins returns the number of non-empty buckets across both stores,
+// plus one if the zero counter is in use. This is the quantity Figure 7
+// of the paper tracks.
+func (s *DDSketch) NumBins() int {
+	n := s.positive.NumBins() + s.negative.NumBins()
+	if s.zeroCount > 0 {
+		n++
+	}
+	return n
+}
+
+// SizeBytes estimates the sketch's in-memory footprint in bytes,
+// counting both stores and the fixed fields. This is the quantity
+// Figure 6 of the paper tracks.
+func (s *DDSketch) SizeBytes() int {
+	return s.positive.SizeBytes() + s.negative.SizeBytes() + 72
+}
+
+// Collapsed reports whether either store has collapsed buckets, i.e.
+// whether some extreme quantiles may have lost the α guarantee.
+func (s *DDSketch) Collapsed() bool {
+	type collapser interface{ IsCollapsed() bool }
+	if c, ok := s.positive.(collapser); ok && c.IsCollapsed() {
+		return true
+	}
+	if c, ok := s.negative.(collapser); ok && c.IsCollapsed() {
+		return true
+	}
+	return false
+}
+
+// ForEach calls f for each (representative value, count) pair in
+// ascending value order: negatives, then zero, then positives. It stops
+// early if f returns false.
+func (s *DDSketch) ForEach(f func(value, count float64) bool) {
+	type bin struct {
+		index int
+		count float64
+	}
+	if !s.negative.IsEmpty() {
+		var bins []bin
+		s.negative.ForEach(func(index int, count float64) bool {
+			bins = append(bins, bin{index, count})
+			return true
+		})
+		for i := len(bins) - 1; i >= 0; i-- {
+			if !f(-s.mapping.Value(bins[i].index), bins[i].count) {
+				return
+			}
+		}
+	}
+	if s.zeroCount > 0 {
+		if !f(0, s.zeroCount) {
+			return
+		}
+	}
+	stopped := false
+	s.positive.ForEach(func(index int, count float64) bool {
+		if !f(s.mapping.Value(index), count) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	_ = stopped
+}
+
+// Reweight multiplies every count in the sketch by w, which must be
+// positive. Combined with periodic merging, this implements exponential
+// time decay: an aggregator can reweight its rolling sketch by a decay
+// factor before merging each new interval in.
+func (s *DDSketch) Reweight(w float64) error {
+	if math.IsNaN(w) || w <= 0 {
+		return fmt.Errorf("%w: reweight factor %v", ErrNegativeCount, w)
+	}
+	if w == 1 {
+		return nil
+	}
+	reweightStore(s.positive, w)
+	reweightStore(s.negative, w)
+	s.zeroCount *= w
+	s.sum *= w
+	return nil
+}
+
+// reweightStore scales every bucket of st by w via count deltas.
+func reweightStore(st store.Store, w float64) {
+	type bin struct {
+		index int
+		count float64
+	}
+	var bins []bin
+	st.ForEach(func(index int, count float64) bool {
+		bins = append(bins, bin{index, count})
+		return true
+	})
+	for _, b := range bins {
+		st.AddWithCount(b.index, b.count*(w-1))
+	}
+}
+
+// ChangeMapping rebuilds the sketch under a different index mapping and
+// store configuration, optionally scaling all values by scaleFactor
+// (e.g. a unit conversion from seconds to nanoseconds). Each bucket's
+// representative value is re-indexed under the new mapping, so the
+// result carries the combined relative error of the old and new
+// mappings: roughly α_old + α_new. Weights, including the zero bucket,
+// are preserved exactly.
+func (s *DDSketch) ChangeMapping(newMapping mapping.IndexMapping, positive, negative store.Provider, scaleFactor float64) (*DDSketch, error) {
+	if math.IsNaN(scaleFactor) || scaleFactor <= 0 {
+		return nil, fmt.Errorf("%w: scale factor %v", ErrValueOutOfRange, scaleFactor)
+	}
+	out := NewWithConfig(newMapping, positive, negative)
+	var rebinErr error
+	rebin := func(src store.Store, dst store.Store) {
+		src.ForEach(func(index int, count float64) bool {
+			v := s.mapping.Value(index) * scaleFactor
+			switch {
+			case v < newMapping.MinIndexableValue():
+				out.zeroCount += count
+			case v > newMapping.MaxIndexableValue():
+				rebinErr = fmt.Errorf("%w: bucket value %v under the new mapping", ErrValueOutOfRange, v)
+				return false
+			default:
+				dst.AddWithCount(newMapping.Index(v), count)
+			}
+			return true
+		})
+	}
+	rebin(s.positive, out.positive)
+	rebin(s.negative, out.negative)
+	if rebinErr != nil {
+		return nil, rebinErr
+	}
+	out.zeroCount += s.zeroCount
+	if !s.IsEmpty() {
+		out.min = s.min * scaleFactor
+		out.max = s.max * scaleFactor
+		out.sum = s.sum * scaleFactor
+	}
+	return out, nil
+}
+
+// String implements fmt.Stringer.
+func (s *DDSketch) String() string {
+	return fmt.Sprintf("DDSketch(mapping=%v, count=%g, bins=%d)",
+		s.mapping, s.Count(), s.NumBins())
+}

@@ -1,0 +1,87 @@
+package ddsketch_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+func Example() {
+	sketch, err := ddsketch.NewCollapsing(0.01, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if err := sketch.Add(float64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	median, err := sketch.Quantile(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The estimate is within 1% of the exact median, 500.
+	fmt.Println(median > 495 && median < 505)
+	// Output: true
+}
+
+func ExampleDDSketch_MergeWith() {
+	agentA, _ := ddsketch.NewCollapsing(0.01, 2048)
+	agentB, _ := ddsketch.NewCollapsing(0.01, 2048)
+	for i := 1; i <= 100; i++ {
+		_ = agentA.Add(float64(i))       // values 1..100
+		_ = agentB.Add(float64(i + 100)) // values 101..200
+	}
+	// Merging is exact: the combined sketch answers as if it had seen
+	// all 200 values itself.
+	if err := agentA.MergeWith(agentB); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(agentA.Count())
+	// Output: 200
+}
+
+func ExampleDDSketch_Encode() {
+	original, _ := ddsketch.NewCollapsing(0.01, 2048)
+	for i := 1; i <= 1000; i++ {
+		_ = original.Add(float64(i))
+	}
+	decoded, err := ddsketch.Decode(original.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := original.Quantile(0.99)
+	b, _ := decoded.Quantile(0.99)
+	fmt.Println(a == b)
+	// Output: true
+}
+
+func ExampleNewWithConfig() {
+	// A custom configuration: the near-optimal cubic mapping with sparse
+	// stores for very scattered data.
+	m, err := mapping.NewCubicallyInterpolated(0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sketch := ddsketch.NewWithConfig(m, store.SparseStoreProvider(), store.SparseStoreProvider())
+	_ = sketch.Add(1e-9)
+	_ = sketch.Add(1e9)
+	fmt.Println(sketch.Count())
+	// Output: 2
+}
+
+func ExampleDDSketch_Quantiles() {
+	sketch, _ := ddsketch.New(0.01)
+	for i := 1; i <= 10000; i++ {
+		_ = sketch.Add(float64(i))
+	}
+	values, err := sketch.Quantiles([]float64{0.5, 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(values))
+	// Output: 2
+}

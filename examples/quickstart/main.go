@@ -1,0 +1,69 @@
+// Quickstart: the one-minute tour of the DDSketch public API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+func main() {
+	// A sketch with 1% relative accuracy and at most 2048 buckets — the
+	// paper's recommended production configuration (§2.2: with these
+	// parameters it covers values from 80µs to 1 year).
+	sketch, err := ddsketch.NewCollapsing(0.01, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert some response times (seconds). Values can be any float64:
+	// positive, negative, or zero.
+	for i := 1; i <= 100000; i++ {
+		latency := 0.001 * math.Pow(1.0001, float64(i)) // skewed stream
+		if err := sketch.Add(latency); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Weighted insertion: record 500 identical timeouts in one call.
+	if err := sketch.AddWithCount(30.0, 500); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query quantiles: each estimate is within 1% of the true value.
+	quantiles, err := sketch.Quantiles([]float64{0.5, 0.95, 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count=%.0f p50=%.4fs p95=%.4fs p99=%.4fs\n",
+		sketch.Count(), quantiles[0], quantiles[1], quantiles[2])
+
+	// Exact summary statistics ride along for free.
+	min, _ := sketch.Min()
+	max, _ := sketch.Max()
+	avg, _ := sketch.Avg()
+	fmt.Printf("min=%.4fs avg=%.4fs max=%.4fs\n", min, avg, max)
+
+	// Sketches serialize compactly...
+	data := sketch.Encode()
+	fmt.Printf("serialized size: %d bytes for %.0f values (%d buckets)\n",
+		len(data), sketch.Count(), sketch.NumBins())
+
+	// ...and merge losslessly: a sketch decoded elsewhere answers exactly
+	// like the original.
+	other, err := ddsketch.Decode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := other.MergeWith(sketch); err != nil {
+		log.Fatal(err)
+	}
+	p99, _ := other.Quantile(0.99)
+	fmt.Printf("after merging two copies: count=%.0f, p99 unchanged at %.4fs\n",
+		other.Count(), p99)
+}

@@ -1,0 +1,132 @@
+// Sensor telemetry: two-sided data with zeros, weighted inserts, and
+// deletion.
+//
+// IoT sensor readings (here: temperatures in °C) are a second workload
+// the paper's introduction motivates. Unlike latencies they are signed:
+// DDSketch handles all of ℝ with a positive store, a negative store
+// indexing magnitudes, and a dedicated zero bucket (§2.2). The relative
+// guarantee applies to the magnitude: p10 = −18.3°C is estimated within
+// 1% of 18.3.
+//
+// The example also demonstrates deletion (§2.1: bucket boundaries are
+// data-independent, so removing a value is an exact bucket decrement) to
+// implement a sliding two-window aggregate.
+//
+// Run with:
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+)
+
+func main() {
+	const sensors = 200
+	const readingsPerSensor = 500
+
+	sketch, err := ddsketch.New(0.01) // unbounded stores: deletion stays exact
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := datagen.NewRNG(2026)
+
+	// Simulate a fleet of outdoor sensors across climates. Readings
+	// cluster below and above freezing, with exact zeros from icing.
+	var all []float64
+	for s := 0; s < sensors; s++ {
+		baseline := rng.Normal(5, 15) // per-sensor climate
+		for i := 0; i < readingsPerSensor; i++ {
+			reading := rng.Normal(baseline, 4)
+			// Datasheet quirk: the sensor reports exactly 0 when iced over.
+			if reading > -0.5 && reading < 0.5 {
+				reading = 0
+			}
+			all = append(all, reading)
+			if err := sketch.Add(reading); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	fmt.Printf("%d readings from %d sensors, %.1f°C .. %.1f°C, %.0f exact zeros\n\n",
+		len(all), sensors, sorted[0], sorted[len(sorted)-1], sketch.ZeroCount())
+
+	fmt.Println("quantile   exact(°C)   sketch(°C)   rel.err(|x|)")
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		exact := sorted[int(1+q*float64(len(sorted)-1))-1]
+		est, err := sketch.Quantile(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relErr := 0.0
+		if exact != 0 {
+			relErr = (est - exact) / exact
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		fmt.Printf("p%-7g   %8.3f    %8.3f     %.5f\n", q*100, exact, est, relErr)
+	}
+
+	// CDF queries answer "what fraction of readings were below freezing?"
+	frozen, err := sketch.CDF(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfraction of readings at or below 0°C: %.1f%%\n", frozen*100)
+
+	// Weighted insert: a gateway pre-aggregates 10k readings of -40°C
+	// from a cold-chain warehouse and reports them as one update.
+	if err := sketch.AddWithCount(-40, 10000); err != nil {
+		log.Fatal(err)
+	}
+	p01, _ := sketch.Quantile(0.01)
+	fmt.Printf("after a weighted batch of 10k x -40°C: p1 = %.2f°C\n", p01)
+
+	// Deletion: drop that batch again — bucket counts are exact, so the
+	// sketch returns to its previous answers.
+	if err := sketch.DeleteWithCount(-40, 10000); err != nil {
+		log.Fatal(err)
+	}
+	p01After, _ := sketch.Quantile(0.01)
+	fmt.Printf("after deleting the batch:              p1 = %.2f°C (restored)\n\n", p01After)
+
+	// ForEach iterates the distribution in value order — enough to print
+	// a compact histogram without access to the raw readings.
+	fmt.Println("sketch-derived histogram (5°C cells):")
+	cells := map[int]float64{}
+	sketch.ForEach(func(value, count float64) bool {
+		cell := int(value) / 5 * 5
+		if value < 0 && int(value)%5 != 0 {
+			cell -= 5
+		}
+		cells[cell] += count
+		return true
+	})
+	var keys []int
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	maxCount := 0.0
+	for _, c := range cells {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for _, k := range keys {
+		bar := ""
+		for i := 0; i < int(40*cells[k]/maxCount); i++ {
+			bar += "*"
+		}
+		fmt.Printf("%4d°C..%3d°C %7.0f %s\n", k, k+5, cells[k], bar)
+	}
+}

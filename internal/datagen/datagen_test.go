@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestFloat64InRange(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	rng := NewRNG(2)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += rng.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	rng := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := rng.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRNG(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Exponential(2)
+		if v < 0 {
+			t.Fatalf("Exponential < 0: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exponential(2) mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(5)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %g, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Normal stddev = %g, want ≈3", math.Sqrt(variance))
+	}
+}
+
+func TestParetoDistribution(t *testing.T) {
+	rng := NewRNG(6)
+	const n = 100000
+	belowTwo := 0
+	for i := 0; i < n; i++ {
+		v := rng.Pareto(1, 1)
+		if v < 1 {
+			t.Fatalf("Pareto(1,1) below support: %g", v)
+		}
+		if v <= 2 {
+			belowTwo++
+		}
+	}
+	// F(2) = 1 − 1/2 = 0.5 for Pareto(1, 1).
+	if p := float64(belowTwo) / n; math.Abs(p-0.5) > 0.01 {
+		t.Errorf("P[X ≤ 2] = %g, want ≈0.5", p)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := NewRNG(7)
+	const n = 100001
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.LogNormal(math.Log(5), 1)
+	}
+	sort.Float64s(values)
+	if med := values[n/2]; math.Abs(med-5)/5 > 0.05 {
+		t.Errorf("LogNormal median = %g, want ≈5", med)
+	}
+}
+
+func TestParetoDataset(t *testing.T) {
+	values := Pareto(10000)
+	if len(values) != 10000 {
+		t.Fatalf("len = %d", len(values))
+	}
+	for _, v := range values {
+		if v < 1 {
+			t.Fatalf("pareto value below 1: %g", v)
+		}
+	}
+	// Heavy tail: the max should dwarf the median.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if sorted[len(sorted)-1]/sorted[len(sorted)/2] < 100 {
+		t.Errorf("pareto dataset is not heavy-tailed: median %g, max %g",
+			sorted[len(sorted)/2], sorted[len(sorted)-1])
+	}
+	// Determinism.
+	again := Pareto(10000)
+	for i := range values {
+		if values[i] != again[i] {
+			t.Fatal("Pareto dataset is not deterministic")
+		}
+	}
+}
+
+func TestSpanDatasetShape(t *testing.T) {
+	values := Span(50000)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, v := range values {
+		if v != math.Round(v) {
+			t.Fatalf("span value not integral: %g", v)
+		}
+		if v < 100 || v > 1.9e12 {
+			t.Fatalf("span value out of range: %g", v)
+		}
+	}
+	// The paper's span data spans ~10 decades; require at least 6 between
+	// p1 and max to call it "wide range".
+	p1 := sorted[len(sorted)/100]
+	max := sorted[len(sorted)-1]
+	if math.Log10(max/p1) < 6 {
+		t.Errorf("span range too narrow: p1=%g max=%g", p1, max)
+	}
+}
+
+func TestPowerDatasetShape(t *testing.T) {
+	values := Power(50000)
+	for _, v := range values {
+		if v < 0.076 || v > 11.122 {
+			t.Fatalf("power value out of UCI range: %g", v)
+		}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	// Light-tailed: max within ~2 orders of magnitude of the median.
+	if sorted[len(sorted)-1]/sorted[len(sorted)/2] > 100 {
+		t.Errorf("power dataset unexpectedly heavy-tailed")
+	}
+}
+
+func TestLatencyDataset(t *testing.T) {
+	values := Latency(20000, 1)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if med < 0.0005 || med > 0.02 {
+		t.Errorf("latency median = %gs, want a few ms", med)
+	}
+	// Outliers exist: p99.9 well above the median.
+	p999 := sorted[len(sorted)*999/1000]
+	if p999/med < 10 {
+		t.Errorf("latency lacks outliers: median %g, p99.9 %g", med, p999)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		if got := ByName(name, 10); len(got) != 10 {
+			t.Errorf("ByName(%q) returned %d values", name, len(got))
+		}
+	}
+	if got := ByName("nope", 10); got != nil {
+		t.Error("ByName(unknown) should return nil")
+	}
+}
+
+func TestSeededVariants(t *testing.T) {
+	a := ParetoSeeded(100, 1)
+	b := ParetoSeeded(100, 2)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical datasets")
+	}
+}

@@ -1,0 +1,151 @@
+package datagen
+
+import "math"
+
+// Default seeds give each dataset an independent, reproducible stream.
+const (
+	paretoSeed = 0xdd5_0001
+	spanSeed   = 0xdd5_0002
+	powerSeed  = 0xdd5_0003
+)
+
+// Pareto returns the paper's pareto dataset: n samples from
+// Pareto(a=1, b=1) (§4.1). With a = 1 the distribution has infinite mean;
+// rank-error sketches misestimate its high quantiles by orders of
+// magnitude, which is the paper's central motivating regime.
+func Pareto(n int) []float64 {
+	return ParetoSeeded(n, paretoSeed)
+}
+
+// ParetoSeeded is Pareto with an explicit seed.
+func ParetoSeeded(n int, seed uint64) []float64 {
+	rng := NewRNG(seed)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Pareto(1, 1)
+	}
+	return values
+}
+
+// Span returns a synthetic stand-in for the paper's span dataset:
+// durations of Datadog distributed-trace spans, "integers in units of
+// nanoseconds ... a wide range of values (from 100 to 1.9 × 10^12)"
+// (§4.1). The real data is proprietary; this generator reproduces the
+// properties the evaluation depends on:
+//
+//   - integral nanosecond values over ~10 decades,
+//   - several lognormal modes (fast in-process spans around tens of µs,
+//     RPC spans around several ms, slow requests around seconds),
+//   - a Pareto tail reaching the multi-minute timeouts that give the
+//     dataset its extreme skew.
+func Span(n int) []float64 {
+	return SpanSeeded(n, spanSeed)
+}
+
+// SpanSeeded is Span with an explicit seed.
+func SpanSeeded(n int, seed uint64) []float64 {
+	rng := NewRNG(seed)
+	values := make([]float64, n)
+	for i := range values {
+		var v float64
+		switch p := rng.Float64(); {
+		case p < 0.55: // in-process spans: ~30µs median
+			v = rng.LogNormal(math.Log(30e3), 1.2)
+		case p < 0.85: // RPC spans: ~3ms median
+			v = rng.LogNormal(math.Log(3e6), 1.5)
+		case p < 0.97: // slow requests: ~300ms median
+			v = rng.LogNormal(math.Log(300e6), 1.3)
+		default: // heavy tail: retries, timeouts, batch jobs
+			v = rng.Pareto(0.9, 1e9)
+		}
+		// Integral nanoseconds, clamped to the range reported in §4.1.
+		v = math.Round(v)
+		if v < 100 {
+			v = 100
+		}
+		if v > 1.9e12 {
+			v = 1.9e12
+		}
+		values[i] = v
+	}
+	return values
+}
+
+// Power returns a synthetic stand-in for the paper's power dataset: the
+// global active power measurements of the UCI Individual Household
+// Electric Power Consumption dataset (§4.1). The real measurements are
+// kilowatt readings in [0.076, 11.122], bimodal (idle baseline vs.
+// heating/cooking peaks) and light-tailed — the "dense" regime where
+// rank-error sketches are competitive. The generator mixes a lognormal
+// idle mode with a broader active mode, with values quantized to watts
+// as in the original data.
+func Power(n int) []float64 {
+	return PowerSeeded(n, powerSeed)
+}
+
+// PowerSeeded is Power with an explicit seed.
+func PowerSeeded(n int, seed uint64) []float64 {
+	rng := NewRNG(seed)
+	values := make([]float64, n)
+	for i := range values {
+		var v float64
+		if rng.Float64() < 0.7 {
+			// Idle baseline: fridge + standby, ~0.3 kW
+			v = rng.LogNormal(math.Log(0.3), 0.45)
+		} else {
+			// Active household: cooking, heating, laundry, ~1.5–4 kW
+			v = rng.LogNormal(math.Log(1.6), 0.6)
+		}
+		// Quantize to watts and clamp to the UCI value range.
+		v = math.Round(v*1000) / 1000
+		if v < 0.076 {
+			v = 0.076
+		}
+		if v > 11.122 {
+			v = 11.122
+		}
+		values[i] = v
+	}
+	return values
+}
+
+// Latency returns a web-request-latency stream in seconds, used by the
+// running example of the paper's introduction (Figures 2–3): a lognormal
+// body with a median of a few milliseconds and a small fraction of
+// multi-second outliers.
+func Latency(n int, seed uint64) []float64 {
+	rng := NewRNG(seed)
+	values := make([]float64, n)
+	for i := range values {
+		var v float64
+		switch p := rng.Float64(); {
+		case p < 0.90: // fast path
+			v = rng.LogNormal(math.Log(0.002), 0.5)
+		case p < 0.99: // slow path: cache misses, db queries
+			v = rng.LogNormal(math.Log(0.008), 0.7)
+		default: // outliers: retries and timeouts
+			v = rng.LogNormal(math.Log(0.120), 0.9)
+		}
+		values[i] = v
+	}
+	return values
+}
+
+// ByName returns the named evaluation dataset, one of "pareto", "span"
+// or "power". It returns nil for unknown names.
+func ByName(name string, n int) []float64 {
+	switch name {
+	case "pareto":
+		return Pareto(n)
+	case "span":
+		return Span(n)
+	case "power":
+		return Power(n)
+	default:
+		return nil
+	}
+}
+
+// Names lists the evaluation datasets in the order the paper's figures
+// present them.
+func Names() []string { return []string{"pareto", "span", "power"} }

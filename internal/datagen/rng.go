@@ -1,0 +1,103 @@
+// Package datagen provides deterministic random data generation for the
+// evaluation harness: a seedable PRNG whose output is stable across runs
+// and Go versions, samplers for the distributions the paper analyzes
+// (§3: exponential, Pareto, lognormal, …), and generators for the three
+// evaluation datasets of §4.1 (pareto, span, power).
+//
+// The span and power datasets substitute for data this reproduction
+// cannot access (Datadog's production trace spans and the UCI household
+// power measurements); see DESIGN.md §2.4 for the substitution rationale.
+package datagen
+
+import "math"
+
+// RNG is a xoshiro256++ pseudo-random generator, seeded via splitmix64.
+// It is implemented here rather than using math/rand so that dataset
+// bytes are reproducible regardless of toolchain version.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed, as recommended by the xoshiro
+	// authors: avoids the pathologies of low-entropy direct seeding.
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform float64 in [a, b).
+func (r *RNG) Uniform(a, b float64) float64 {
+	return a + (b-a)*r.Float64()
+}
+
+// Exponential returns an exponentially distributed value with the given
+// rate λ (mean 1/λ).
+func (r *RNG) Exponential(rate float64) float64 {
+	// Inverse CDF; 1−U avoids log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Normal returns a normally distributed value via the Box–Muller
+// transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	// The second variate of each pair is discarded; simplicity over
+	// throughput is the right trade for a data generator.
+	u1 := 1 - r.Float64() // in (0, 1]
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)): the distribution of
+// multiplicative processes, and the paper's example of a heavy-tailed
+// distribution with subgaussian logarithm.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto(a, b)-distributed value: cdf
+// F(t) = 1 − (b/t)^a for t ≥ b. Its logarithm is exponential, the
+// worst-case family the paper's §3 size bounds target.
+func (r *RNG) Pareto(a, b float64) float64 {
+	return b * math.Pow(1-r.Float64(), -1/a)
+}

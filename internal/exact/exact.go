@@ -1,0 +1,97 @@
+// Package exact computes exact quantiles and the error metrics used in
+// the paper's evaluation (§4): relative error (the quantity DDSketch
+// bounds) and rank error (the quantity GK-style sketches bound).
+package exact
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the exact lower q-quantile of sorted values, per the
+// paper's definition: the value of rank ⌊1 + q(n−1)⌋ (1-based) in the
+// sorted multiset.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := int(math.Floor(1 + q*float64(n-1)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Quantiles returns the exact lower quantiles of values at each q in qs.
+// values is sorted in place.
+func Quantiles(values []float64, qs []float64) []float64 {
+	sort.Float64s(values)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(values, q)
+	}
+	return out
+}
+
+// RelativeError returns |estimate − actual| / |actual|, the error measure
+// of Definition 1. When actual is zero, it returns 0 if the estimate is
+// also zero and +Inf otherwise.
+func RelativeError(estimate, actual float64) float64 {
+	if actual == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-actual) / math.Abs(actual)
+}
+
+// Rank returns the number of values in sorted that are less than or
+// equal to v (the paper's rank function R).
+func Rank(sorted []float64, v float64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+}
+
+// RankError returns the normalized rank error of an estimate for the
+// q-quantile of sorted: |R(estimate) − ⌊1 + q(n−1)⌋| / n. This is the
+// quantity an ε-rank-accurate sketch keeps below ε.
+func RankError(sorted []float64, estimate float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	target := math.Floor(1 + q*float64(n-1))
+	got := float64(Rank(sorted, estimate))
+	if got < target {
+		// The estimate sits between two data points; its effective rank
+		// is anywhere in (R(estimate), R(estimate)+1]. Credit it with the
+		// position closest to the target.
+		got++
+		if got > target {
+			got = target
+		}
+	}
+	return math.Abs(got-target) / float64(n)
+}
+
+// Mean returns the arithmetic mean of values, or NaN when empty.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

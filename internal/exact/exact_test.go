@@ -1,0 +1,179 @@
+package exact
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantilePaperDefinition(t *testing.T) {
+	// xq is the value of rank ⌊1 + q(n−1)⌋ in the sorted multiset.
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.24, 10}, {0.25, 20}, {0.49, 20},
+		{0.5, 30}, {0.74, 30}, {0.75, 40}, {0.99, 40}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty: want NaN")
+	}
+	single := []float64{7}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(single, q); got != 7 {
+			t.Errorf("Quantile(%g) of singleton = %g", q, got)
+		}
+	}
+	sorted := []float64{1, 2}
+	if got := Quantile(sorted, -0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %g, want clamp to min", got)
+	}
+	if got := Quantile(sorted, 1.5); got != 2 {
+		t.Errorf("Quantile(1.5) = %g, want clamp to max", got)
+	}
+}
+
+func TestQuantilesSortsInput(t *testing.T) {
+	values := []float64{3, 1, 2}
+	got := Quantiles(values, []float64{0, 1})
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("Quantiles = %v", got)
+	}
+	if !sort.Float64sAreSorted(values) {
+		t.Error("Quantiles did not sort its input")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		est, actual, want float64
+	}{
+		{100, 100, 0},
+		{101, 100, 0.01},
+		{99, 100, 0.01},
+		{-99, -100, 0.01},
+		{0, 0, 0},
+		{200, 100, 1},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.est, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeError(%g, %g) = %g, want %g", c.est, c.actual, got, c.want)
+		}
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("RelativeError(1, 0): want +Inf")
+	}
+}
+
+func TestRank(t *testing.T) {
+	sorted := []float64{1, 2, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.5, 0}, {1, 1}, {1.5, 1}, {2, 3}, {2.5, 3}, {3, 4}, {10, 4},
+	}
+	for _, c := range cases {
+		if got := Rank(sorted, c.v); got != c.want {
+			t.Errorf("Rank(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRankErrorExactEstimateIsZero(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		est := Quantile(sorted, q)
+		if got := RankError(sorted, est, q); got != 0 {
+			t.Errorf("RankError of exact estimate at q=%g: %g", q, got)
+		}
+	}
+}
+
+func TestRankErrorBetweenValues(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	// An estimate strictly between the target and the next value costs
+	// nothing (its effective rank interval covers the target).
+	if got := RankError(sorted, 25, 0.5); got != 0 {
+		t.Errorf("RankError(25, q=0.5) = %g, want 0", got)
+	}
+	// An estimate three positions off costs 3/n.
+	if got := RankError(sorted, 40, 0.25); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("RankError(40, q=0.25) = %g, want 0.75", got)
+	}
+	// One position off costs 1/n.
+	if got := RankError(sorted, 20, 0.25); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("RankError(20, q=0.25) = %g, want 0.25", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty: want NaN")
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		q := float64(qRaw) / 255
+		v := Quantile(sorted, q)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRankErrorOfDataValueIsSmall(t *testing.T) {
+	// Estimating a quantile by any *actual data value* within one
+	// position of the target must give rank error ≤ 1/n.
+	f := func(seed int64) bool {
+		sorted := make([]float64, 100)
+		for i := range sorted {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			sorted[i] = float64(seed % 1000)
+		}
+		sort.Float64s(sorted)
+		q := 0.5
+		target := int(math.Floor(1 + q*float64(len(sorted)-1)))
+		est := sorted[target-1]
+		return RankError(sorted, est, q) <= 0.0+1e-9 ||
+			RankError(sorted, est, q) <= float64(countDuplicates(sorted, est))/float64(len(sorted))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countDuplicates(sorted []float64, v float64) int {
+	n := 0
+	for _, x := range sorted {
+		if x == v {
+			n++
+		}
+	}
+	return n
+}

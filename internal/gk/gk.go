@@ -1,0 +1,277 @@
+// Package gk implements GKArray, the array-backed variant of the
+// Greenwald–Khanna rank-error quantile sketch that the paper benchmarks
+// DDSketch against (§1.2, §4; reference [20] and the authors' own
+// optimized implementation).
+//
+// GKArray guarantees that quantile estimates have rank error at most
+// ε·n. It keeps a compressed list of tuples (v, g, Δ) where g is the gap
+// in minimum rank to the previous tuple and Δ the rank uncertainty, plus
+// a buffer of incoming values merged in periodically. Until the first
+// compression (n ≤ 1/(2ε)) every value is retained and answers are
+// exact, which is visible in the paper's Figures 10–11 as zero error for
+// small n.
+//
+// GK-style sketches are only one-way mergeable: merging folds another
+// sketch's summary in as weighted values, accumulating rank error, and
+// cannot be arranged into an arbitrary merge tree without degradation —
+// one of the two weaknesses (with relative error on heavy tails) that
+// motivated DDSketch.
+package gk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the sketch.
+var (
+	// ErrEmptySketch is returned by queries on a sketch with no values.
+	ErrEmptySketch = errors.New("gk: empty sketch")
+	// ErrInvalidRankAccuracy is returned when ε is outside (0, 1).
+	ErrInvalidRankAccuracy = errors.New("gk: rank accuracy must be between 0 and 1 (exclusive)")
+	// ErrQuantileOutOfRange is returned when q is outside [0, 1].
+	ErrQuantileOutOfRange = errors.New("gk: quantile must be between 0 and 1")
+)
+
+// entry is a GK tuple: v is a retained value, g the number of observed
+// values between this entry and the previous one (in minimum rank), and
+// delta the uncertainty on the entry's rank.
+type entry struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// Sketch is a GKArray quantile sketch with rank accuracy ε.
+//
+// A Sketch is not safe for concurrent use.
+type Sketch struct {
+	eps      float64
+	entries  []entry
+	incoming []float64
+	count    int
+	min, max float64
+}
+
+// New returns a GKArray sketch with the given rank accuracy ε ∈ (0, 1):
+// quantile estimates are within ε·n ranks of exact.
+func New(eps float64) (*Sketch, error) {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrInvalidRankAccuracy, eps)
+	}
+	return &Sketch{
+		eps:      eps,
+		incoming: make([]float64, 0, bufferCap(eps)),
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+	}, nil
+}
+
+// bufferCap is the incoming-buffer capacity 1/(2ε): the largest batch
+// that cannot by itself violate the rank guarantee.
+func bufferCap(eps float64) int {
+	c := int(1 / (2 * eps))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// RankAccuracy returns the sketch's ε parameter.
+func (s *Sketch) RankAccuracy() float64 { return s.eps }
+
+// Count returns the number of inserted values.
+func (s *Sketch) Count() int { return s.count }
+
+// IsEmpty reports whether the sketch holds no values.
+func (s *Sketch) IsEmpty() bool { return s.count == 0 }
+
+// Min returns the minimum inserted value.
+func (s *Sketch) Min() (float64, error) {
+	if s.count == 0 {
+		return 0, ErrEmptySketch
+	}
+	return s.min, nil
+}
+
+// Max returns the maximum inserted value.
+func (s *Sketch) Max() (float64, error) {
+	if s.count == 0 {
+		return 0, ErrEmptySketch
+	}
+	return s.max, nil
+}
+
+// Add inserts a value into the sketch.
+func (s *Sketch) Add(v float64) {
+	s.incoming = append(s.incoming, v)
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.incoming) >= bufferCap(s.eps) {
+		s.compress()
+	}
+}
+
+// compress folds the incoming buffer into the entry list and prunes
+// entries whose removal keeps the invariant g_i + g_{i+1} + Δ_{i+1} ≤ 2εn.
+func (s *Sketch) compress() {
+	if len(s.incoming) == 0 {
+		return
+	}
+	sort.Float64s(s.incoming)
+	imported := make([]entry, len(s.incoming))
+	for i, v := range s.incoming {
+		imported[i] = entry{v: v, g: 1}
+	}
+	s.mergeEntries(imported)
+	s.incoming = s.incoming[:0]
+}
+
+// mergeEntries merge-sorts imported (sorted by v, with g weights) into
+// the entry list, assigns deltas, and runs the pruning pass.
+func (s *Sketch) mergeEntries(imported []entry) {
+	removalThreshold := int(2 * s.eps * float64(s.count-1))
+	merged := make([]entry, 0, len(s.entries)+len(imported))
+	i, j := 0, 0
+	for i < len(s.entries) || j < len(imported) {
+		if j < len(imported) && (i >= len(s.entries) || imported[j].v < s.entries[i].v) {
+			e := imported[j]
+			if i < len(s.entries) {
+				// Inserted before an existing entry: its rank is known no
+				// better than the successor's band (classic GK insert).
+				// This applies at the head too — unlike textbook GK, the
+				// array variant may have pruned the true minimum, so a
+				// new smallest retained value cannot claim exact rank 1.
+				d := s.entries[i].g + s.entries[i].delta - e.g
+				if d < e.delta {
+					d = e.delta
+				}
+				if d > removalThreshold {
+					d = removalThreshold
+				}
+				if d > 0 {
+					e.delta = d
+				}
+			}
+			merged = append(merged, e)
+			j++
+		} else {
+			merged = append(merged, s.entries[i])
+			i++
+		}
+	}
+	// Pruning pass: greedily fold each entry into its successor when the
+	// combined band stays within the threshold.
+	compressed := merged[:0]
+	for _, e := range merged {
+		for len(compressed) > 0 {
+			last := compressed[len(compressed)-1]
+			if last.g+e.g+e.delta <= removalThreshold {
+				e.g += last.g
+				compressed = compressed[:len(compressed)-1]
+				continue
+			}
+			break
+		}
+		compressed = append(compressed, e)
+	}
+	s.entries = append([]entry(nil), compressed...)
+}
+
+// Quantile returns an estimate of the q-quantile whose rank error is at
+// most ε·n.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: got %v", ErrQuantileOutOfRange, q)
+	}
+	if s.count == 0 {
+		return 0, ErrEmptySketch
+	}
+	// Small-n regime: everything is still in the buffer, answer exactly.
+	if len(s.entries) == 0 {
+		sorted := append([]float64(nil), s.incoming...)
+		sort.Float64s(sorted)
+		rank := int(math.Floor(1 + q*float64(len(sorted)-1)))
+		return sorted[rank-1], nil
+	}
+	s.compress()
+	rank := int(math.Floor(1 + q*float64(s.count-1)))
+	spread := int(s.eps * float64(s.count-1))
+	gSum := 0
+	for i := range s.entries {
+		gSum += s.entries[i].g
+		if gSum+s.entries[i].delta > rank+spread {
+			if i == 0 {
+				return s.min, nil
+			}
+			return s.entries[i-1].v, nil
+		}
+	}
+	return s.entries[len(s.entries)-1].v, nil
+}
+
+// Quantiles returns estimates for each of the given quantiles.
+func (s *Sketch) Quantiles(qs []float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MergeWith folds other into s. GK sketches are only one-way mergeable:
+// the other sketch's entries are re-inserted as weighted values carrying
+// their rank uncertainty, so error accumulates with every merge level —
+// unlike DDSketch, whose merges are exact.
+func (s *Sketch) MergeWith(other *Sketch) {
+	if other.count == 0 {
+		return
+	}
+	other.compress()
+	s.count += other.count
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	imported := make([]entry, len(other.entries))
+	copy(imported, other.entries)
+	s.compress() // flush our own buffer so thresholds use the new count
+	s.mergeEntries(imported)
+}
+
+// Copy returns a deep copy of the sketch.
+func (s *Sketch) Copy() *Sketch {
+	c := &Sketch{
+		eps:      s.eps,
+		entries:  append([]entry(nil), s.entries...),
+		incoming: append(make([]float64, 0, cap(s.incoming)), s.incoming...),
+		count:    s.count,
+		min:      s.min,
+		max:      s.max,
+	}
+	return c
+}
+
+// SizeBytes estimates the in-memory footprint: 24 bytes per entry
+// (float64 + two ints), the incoming buffer, and fixed fields.
+func (s *Sketch) SizeBytes() int {
+	return 24*cap(s.entries) + 8*cap(s.incoming) + 64
+}
+
+// String implements fmt.Stringer.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("GKArray(eps=%g, count=%d, entries=%d)", s.eps, s.count, len(s.entries))
+}

@@ -1,0 +1,291 @@
+package gk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("New(%g): want error", eps)
+		}
+	}
+	if _, err := New(0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s, _ := New(0.01)
+	if !s.IsEmpty() || s.Count() != 0 {
+		t.Error("new sketch not empty")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty: want error")
+	}
+	if _, err := s.Min(); err == nil {
+		t.Error("Min on empty: want error")
+	}
+	if _, err := s.Max(); err == nil {
+		t.Error("Max on empty: want error")
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	s, _ := New(0.01)
+	s.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestExactForSmallN(t *testing.T) {
+	// Until the first compression everything is retained: answers exact.
+	s, _ := New(0.01) // buffer capacity 50
+	values := []float64{5, 1, 9, 3, 7}
+	for _, v := range values {
+		s.Add(v)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := exact.Quantile(sorted, q); got != want {
+			t.Errorf("Quantile(%g) = %g, want %g (exact regime)", q, got, want)
+		}
+	}
+}
+
+// checkRankAccuracy asserts the GK guarantee: rank error ≤ ε·n (with a
+// small slack for the paper's rank definition at the boundaries).
+func checkRankAccuracy(t *testing.T, s *Sketch, values []float64, eps float64) {
+	t.Helper()
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rankErr := exact.RankError(sorted, got, q); rankErr > eps+2.0/float64(len(sorted)) {
+			t.Errorf("q=%g: rank error %g > eps %g (estimate %g)", q, rankErr, eps, got)
+		}
+	}
+}
+
+func TestRankAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 50000)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+	}
+	for _, eps := range []float64{0.05, 0.01, 0.001} {
+		s, _ := New(eps)
+		for _, v := range values {
+			s.Add(v)
+		}
+		checkRankAccuracy(t, s, values, eps)
+	}
+}
+
+func TestRankAccuracyHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]float64, 50000)
+	for i := range values {
+		values[i] = 1 / (1 - rng.Float64()) // Pareto(1, 1)
+	}
+	s, _ := New(0.01)
+	for _, v := range values {
+		s.Add(v)
+	}
+	checkRankAccuracy(t, s, values, 0.01)
+}
+
+func TestRelativeErrorBlowsUpOnHeavyTails(t *testing.T) {
+	// The motivating observation of the DDSketch paper: a rank-accurate
+	// sketch can have enormous *relative* error at high quantiles of
+	// heavy-tailed data. This test documents the failure mode rather than
+	// asserting a guarantee.
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 200000)
+	for i := range values {
+		values[i] = math.Pow(1-rng.Float64(), -2) // very heavy tail
+	}
+	s, _ := New(0.01)
+	for _, v := range values {
+		s.Add(v)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	got, err := s.Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := exact.RelativeError(got, exact.Quantile(sorted, 0.999))
+	t.Logf("p99.9 relative error on heavy tail: %g", relErr)
+	if relErr < 0.01 {
+		t.Skip("tail not adversarial enough in this draw")
+	}
+}
+
+func TestCountMinMax(t *testing.T) {
+	s, _ := New(0.01)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 1000 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if min, _ := s.Min(); min != 1 {
+		t.Errorf("Min = %g", min)
+	}
+	if max, _ := s.Max(); max != 1000 {
+		t.Errorf("Max = %g", max)
+	}
+}
+
+func TestMergePreservesRankAccuracyApproximately(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 20000)
+	b := make([]float64, 30000)
+	for i := range a {
+		a[i] = rng.Float64() * 100
+	}
+	for i := range b {
+		b[i] = rng.Float64()*100 + 50
+	}
+	sa, _ := New(0.01)
+	sb, _ := New(0.01)
+	for _, v := range a {
+		sa.Add(v)
+	}
+	for _, v := range b {
+		sb.Add(v)
+	}
+	sa.MergeWith(sb)
+	if sa.Count() != 50000 {
+		t.Fatalf("merged count = %d", sa.Count())
+	}
+	all := append(append([]float64(nil), a...), b...)
+	// One-way merge: error roughly doubles, so allow 2ε plus slack.
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := sa.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rankErr := exact.RankError(sorted, got, q); rankErr > 0.025 {
+			t.Errorf("q=%g: merged rank error %g", q, rankErr)
+		}
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	s, _ := New(0.01)
+	s.Add(1)
+	empty, _ := New(0.01)
+	s.MergeWith(empty)
+	if s.Count() != 1 {
+		t.Errorf("count = %d", s.Count())
+	}
+	empty.MergeWith(s)
+	if empty.Count() != 1 {
+		t.Errorf("count = %d", empty.Count())
+	}
+	if min, err := empty.Min(); err != nil || min != 1 {
+		t.Errorf("merged min = (%g, %v)", min, err)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	s, _ := New(0.01)
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	cp := s.Copy()
+	for i := 0; i < 100; i++ {
+		s.Add(1e6)
+	}
+	if cp.Count() != 100 {
+		t.Errorf("copy count = %d", cp.Count())
+	}
+	if max, _ := cp.Max(); max == 1e6 {
+		t.Error("copy shares state with original")
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	s, _ := New(0.01)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	got, err := s.Quantiles([]float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] > got[1] || got[1] > got[2] {
+		t.Errorf("Quantiles not monotone: %v", got)
+	}
+}
+
+func TestSizeBytesBounded(t *testing.T) {
+	s, _ := New(0.01)
+	for i := 0; i < 1000000; i++ {
+		s.Add(float64(i % 99991))
+	}
+	size := s.SizeBytes()
+	// O((1/ε)·log(εn)) entries; for ε=0.01 and n=1e6 this is a few
+	// thousand entries at most.
+	if size > 300000 {
+		t.Errorf("SizeBytes = %d, sketch is not compressing", size)
+	}
+	if size <= 0 {
+		t.Errorf("SizeBytes = %d", size)
+	}
+}
+
+func TestQuickRankAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := New(0.02)
+		n := 200 + rng.Intn(2000)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 50
+			s.Add(values[i])
+		}
+		sort.Float64s(values)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			got, err := s.Quantile(q)
+			if err != nil {
+				return false
+			}
+			if exact.RankError(values, got, q) > 0.02+2.0/float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s, _ := New(0.01)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,241 @@
+// Package harness runs the paper's evaluation (§4): it wraps the four
+// quantile sketches behind a common interface, generates the datasets,
+// and regenerates every table and figure as aligned text tables. The
+// cmd/ddbench binary is a thin CLI over this package.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/gk"
+	"github.com/ddsketch-go/ddsketch/internal/hdr"
+	"github.com/ddsketch-go/ddsketch/internal/moments"
+)
+
+// Experiment parameters from Table 2 of the paper.
+const (
+	// DDSketchAlpha is the target relative accuracy α = 1%.
+	DDSketchAlpha = 0.01
+	// DDSketchMaxBins is the bin budget m = 2048.
+	DDSketchMaxBins = 2048
+	// HDRDigits is HDR Histogram's significant decimal digits d = 2.
+	HDRDigits = 2
+	// GKEpsilon is GKArray's rank accuracy ε = 0.01.
+	GKEpsilon = 0.01
+	// MomentsK is the Moments sketch's number of moments k = 20.
+	MomentsK = 20
+)
+
+// Quantiler is the least common denominator of the four sketches, enough
+// to drive every experiment.
+type Quantiler interface {
+	Name() string
+	// Add inserts a value. Implementations may reject values their
+	// algorithm cannot represent (e.g. HDR's bounded range).
+	Add(value float64) error
+	Quantile(q float64) (float64, error)
+	// MergeWith folds another instance produced by the same Factory.
+	MergeWith(other Quantiler) error
+	SizeBytes() int
+}
+
+// Factory builds identically configured Quantilers.
+type Factory struct {
+	Name string
+	New  func() Quantiler
+}
+
+// ddsketchAdapter wraps the library's own sketch.
+type ddsketchAdapter struct {
+	name   string
+	sketch *ddsketch.DDSketch
+}
+
+func (a *ddsketchAdapter) Name() string                        { return a.name }
+func (a *ddsketchAdapter) Add(v float64) error                 { return a.sketch.Add(v) }
+func (a *ddsketchAdapter) Quantile(q float64) (float64, error) { return a.sketch.Quantile(q) }
+func (a *ddsketchAdapter) SizeBytes() int                      { return a.sketch.SizeBytes() }
+
+func (a *ddsketchAdapter) MergeWith(other Quantiler) error {
+	o, ok := other.(*ddsketchAdapter)
+	if !ok {
+		return fmt.Errorf("harness: cannot merge %T into %T", other, a)
+	}
+	return a.sketch.MergeWith(o.sketch)
+}
+
+// gkAdapter wraps the GKArray baseline.
+type gkAdapter struct {
+	sketch *gk.Sketch
+}
+
+func (a *gkAdapter) Name() string                        { return "GKArray" }
+func (a *gkAdapter) Add(v float64) error                 { a.sketch.Add(v); return nil }
+func (a *gkAdapter) Quantile(q float64) (float64, error) { return a.sketch.Quantile(q) }
+func (a *gkAdapter) SizeBytes() int                      { return a.sketch.SizeBytes() }
+
+func (a *gkAdapter) MergeWith(other Quantiler) error {
+	o, ok := other.(*gkAdapter)
+	if !ok {
+		return fmt.Errorf("harness: cannot merge %T into %T", other, a)
+	}
+	a.sketch.MergeWith(o.sketch)
+	return nil
+}
+
+// hdrAdapter wraps the HDR Histogram baseline. HDR records integers, so
+// float values are scaled by a per-dataset factor before recording and
+// scaled back on query — the standard way HDR is deployed on fractional
+// measurements.
+type hdrAdapter struct {
+	hist  *hdr.Histogram
+	scale float64
+}
+
+func (a *hdrAdapter) Name() string { return "HDRHistogram" }
+
+func (a *hdrAdapter) Add(v float64) error {
+	return a.hist.Record(int64(math.Round(v * a.scale)))
+}
+
+func (a *hdrAdapter) Quantile(q float64) (float64, error) {
+	v, err := a.hist.Quantile(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(v) / a.scale, nil
+}
+
+func (a *hdrAdapter) SizeBytes() int { return a.hist.SizeBytes() }
+
+func (a *hdrAdapter) MergeWith(other Quantiler) error {
+	o, ok := other.(*hdrAdapter)
+	if !ok {
+		return fmt.Errorf("harness: cannot merge %T into %T", other, a)
+	}
+	return a.hist.MergeWith(o.hist)
+}
+
+// momentsAdapter wraps the Moments sketch baseline.
+type momentsAdapter struct {
+	sketch *moments.Sketch
+}
+
+func (a *momentsAdapter) Name() string                        { return "MomentSketch" }
+func (a *momentsAdapter) Add(v float64) error                 { a.sketch.Add(v); return nil }
+func (a *momentsAdapter) Quantile(q float64) (float64, error) { return a.sketch.Quantile(q) }
+func (a *momentsAdapter) SizeBytes() int                      { return a.sketch.SizeBytes() }
+
+func (a *momentsAdapter) MergeWith(other Quantiler) error {
+	o, ok := other.(*momentsAdapter)
+	if !ok {
+		return fmt.Errorf("harness: cannot merge %T into %T", other, a)
+	}
+	return a.sketch.MergeWith(o.sketch)
+}
+
+// hdrRange holds the per-dataset HDR configuration: the integer scaling
+// factor and trackable range. HDR requires committing to a range up
+// front — the bounded-range limitation Table 1 of the paper records.
+type hdrRange struct {
+	scale   float64
+	lowest  int64
+	highest int64
+}
+
+// hdrRangeFor returns the HDR configuration for a dataset. The lowest
+// discernible value is 1 in every configuration: HDR's d-significant-
+// digit guarantee only applies to values at least 2·10^d units above the
+// lowest discernible one, so unit resolution must sit well below the
+// data. The highest trackable value must be committed to up front and
+// sizes the counts array — the bounded-range limitation of Table 1.
+func hdrRangeFor(dataset string) hdrRange {
+	switch dataset {
+	case "pareto":
+		// Values ≥ 1 with a tail reaching ~n for Pareto(1, 1); scale to
+		// micro-units with generous tail headroom.
+		return hdrRange{scale: 1e6, lowest: 1, highest: 1e15}
+	case "span":
+		// Already integral nanoseconds in [100, 1.9e12].
+		return hdrRange{scale: 1, lowest: 1, highest: 2e12}
+	case "power":
+		// Kilowatts in [0.076, 11.122], quantized to watts by the data
+		// source; track integral watts.
+		return hdrRange{scale: 1e3, lowest: 1, highest: 12_000}
+	case "latency":
+		// Seconds, sub-millisecond to minutes; scale to microseconds.
+		return hdrRange{scale: 1e6, lowest: 1, highest: 1e9}
+	default:
+		return hdrRange{scale: 1e6, lowest: 1, highest: 1e15}
+	}
+}
+
+// Sketches returns the five sketch configurations benchmarked in §4 —
+// DDSketch, DDSketch (fast), GKArray, HDR Histogram, and the Moments
+// sketch — configured per Table 2, with HDR's range set for the dataset.
+func Sketches(dataset string) []Factory {
+	r := hdrRangeFor(dataset)
+	return []Factory{
+		{Name: "DDSketch", New: func() Quantiler {
+			s, err := ddsketch.NewCollapsing(DDSketchAlpha, DDSketchMaxBins)
+			if err != nil {
+				panic(err)
+			}
+			return &ddsketchAdapter{name: "DDSketch", sketch: s}
+		}},
+		{Name: "DDSketch (fast)", New: func() Quantiler {
+			s, err := ddsketch.NewFast(DDSketchAlpha, DDSketchMaxBins)
+			if err != nil {
+				panic(err)
+			}
+			return &ddsketchAdapter{name: "DDSketch (fast)", sketch: s}
+		}},
+		{Name: "GKArray", New: func() Quantiler {
+			s, err := gk.New(GKEpsilon)
+			if err != nil {
+				panic(err)
+			}
+			return &gkAdapter{sketch: s}
+		}},
+		{Name: "HDRHistogram", New: func() Quantiler {
+			h, err := hdr.New(r.lowest, r.highest, HDRDigits)
+			if err != nil {
+				panic(err)
+			}
+			return &hdrAdapter{hist: h, scale: r.scale}
+		}},
+		{Name: "MomentSketch", New: func() Quantiler {
+			s, err := moments.New(MomentsK, true)
+			if err != nil {
+				panic(err)
+			}
+			return &momentsAdapter{sketch: s}
+		}},
+	}
+}
+
+// FactoryByName returns the factory with the given name from Sketches.
+func FactoryByName(dataset, name string) (Factory, bool) {
+	for _, f := range Sketches(dataset) {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// Fill inserts every value into a fresh sketch from the factory,
+// returning the sketch and the number of values that were rejected
+// (HDR's out-of-range values, DDSketch's non-indexable ones).
+func Fill(f Factory, values []float64) (Quantiler, int) {
+	s := f.New()
+	rejected := 0
+	for _, v := range values {
+		if err := s.Add(v); err != nil {
+			rejected++
+		}
+	}
+	return s, rejected
+}

@@ -1,0 +1,513 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+// Config controls experiment scale. The paper's figures run to N = 10^8
+// (10^10 for Figure 7); the default keeps a full `ddbench -experiment
+// all` run laptop-sized while preserving every qualitative shape. Pass a
+// larger N to approach the paper's axes.
+type Config struct {
+	N    int
+	Seed uint64
+}
+
+// DefaultConfig returns the default experiment scale.
+func DefaultConfig() Config { return Config{N: 1_000_000, Seed: 1} }
+
+// Quantiles probed by the accuracy experiments (Figures 10–11).
+var accuracyQuantiles = []float64{0.5, 0.95, 0.99}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "table2",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11",
+		"bounds", "ablation", "related",
+	}
+}
+
+// Run regenerates the table/figure with the given id.
+func Run(id string, cfg Config) ([]Result, error) {
+	if cfg.N <= 0 {
+		cfg.N = DefaultConfig().N
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	switch id {
+	case "table1":
+		return []Result{Table1()}, nil
+	case "table2":
+		return []Result{Table2()}, nil
+	case "fig2":
+		return []Result{Fig2(cfg)}, nil
+	case "fig3":
+		return Fig3(cfg), nil
+	case "fig4":
+		return Fig4(cfg), nil
+	case "fig5":
+		return Fig5(cfg), nil
+	case "fig6":
+		return []Result{Fig6(cfg)}, nil
+	case "fig7":
+		return []Result{Fig7(cfg)}, nil
+	case "fig8":
+		return []Result{Fig8(cfg)}, nil
+	case "fig9":
+		return []Result{Fig9(cfg)}, nil
+	case "fig10":
+		return []Result{Fig10(cfg)}, nil
+	case "fig11":
+		return []Result{Fig11(cfg)}, nil
+	case "bounds":
+		return []Result{Bounds(cfg)}, nil
+	case "ablation":
+		return []Result{Ablation(cfg)}, nil
+	case "related":
+		return []Result{Related(cfg)}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, IDs())
+	}
+}
+
+// nGrid returns the powers of ten from 10^3 up to maxN, always including
+// maxN itself.
+func nGrid(maxN int) []int {
+	var grid []int
+	for n := 1000; n < maxN; n *= 10 {
+		grid = append(grid, n)
+	}
+	if len(grid) == 0 || grid[len(grid)-1] != maxN {
+		grid = append(grid, maxN)
+	}
+	return grid
+}
+
+// Table1 reproduces the qualitative comparison of quantile sketching
+// algorithms.
+func Table1() Result {
+	r := Result{
+		ID:      "table1",
+		Title:   "Quantile Sketching Algorithms",
+		Columns: []string{"sketch", "guarantee", "range", "mergeability"},
+	}
+	r.AddRow("DDSketch", "relative", "arbitrary", "full")
+	r.AddRow("HDR Histogram", "relative", "bounded", "full")
+	r.AddRow("GKArray", "rank", "arbitrary", "one-way")
+	r.AddRow("Moments", "avg rank", "bounded", "full")
+	return r
+}
+
+// Table2 reproduces the experiment parameters.
+func Table2() Result {
+	r := Result{
+		ID:      "table2",
+		Title:   "Experiment Parameters",
+		Columns: []string{"sketch", "parameters"},
+	}
+	r.AddRow("DDSketch", fmt.Sprintf("alpha = %g, m = %d", DDSketchAlpha, DDSketchMaxBins))
+	r.AddRow("HDR Histogram", fmt.Sprintf("d = %d", HDRDigits))
+	r.AddRow("GKArray", fmt.Sprintf("eps = %g", GKEpsilon))
+	r.AddRow("Moments sketch", fmt.Sprintf("k = %d, compression enabled", MomentsK))
+	return r
+}
+
+// Fig2 reproduces Figure 2: the average latency of a web endpoint over
+// time sits near the 75th percentile, far above the median — the reason
+// averages mislead on skewed latency data.
+func Fig2(cfg Config) Result {
+	const batches = 20
+	batchSize := cfg.N / batches
+	if batchSize < 1000 {
+		batchSize = 1000
+	}
+	r := Result{
+		ID:      "fig2",
+		Title:   "Average latency vs p50/p75 over time (20 batches)",
+		Columns: []string{"batch", "mean", "p50", "p75", "mean/p50", "mean/p75"},
+		Notes: []string{
+			"the mean tracks p75, not the median: outliers drag it upward (paper Figure 2)",
+		},
+	}
+	for b := 0; b < batches; b++ {
+		values := datagen.Latency(batchSize, cfg.Seed+uint64(b))
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		mean := exact.Mean(values)
+		p50 := exact.Quantile(sorted, 0.5)
+		p75 := exact.Quantile(sorted, 0.75)
+		r.AddRow(b+1, mean, p50, p75, mean/p50, mean/p75)
+	}
+	return r
+}
+
+// Fig3 reproduces Figure 3: histograms of 2M web response times, for
+// p0–p95 and the full range, showing the extreme right skew.
+func Fig3(cfg Config) []Result {
+	n := cfg.N * 2
+	if n > 2_000_000 {
+		n = 2_000_000
+	}
+	values := datagen.SpanSeeded(n, cfg.Seed)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	p95 := exact.Quantile(sorted, 0.95)
+	return []Result{
+		textHistogram("fig3", "Response times p0-p95 (histogram)", sorted, sorted[0], p95),
+		textHistogram("fig3", "Response times p0-p100 (histogram)", sorted, sorted[0], sorted[len(sorted)-1]),
+	}
+}
+
+// textHistogram renders a fixed-bucket histogram of sorted values
+// restricted to [lo, hi] as rows of counts and bars.
+func textHistogram(id, title string, sorted []float64, lo, hi float64) Result {
+	const buckets = 20
+	r := Result{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"bucket", "count", "bar"},
+	}
+	counts := make([]int, buckets)
+	width := (hi - lo) / buckets
+	if width <= 0 {
+		width = 1
+	}
+	for _, v := range sorted {
+		if v < lo || v > hi {
+			continue
+		}
+		b := int((v - lo) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for b, c := range counts {
+		bar := ""
+		for i := 0; i < 40*c/max; i++ {
+			bar += "*"
+		}
+		r.AddRow(fmt.Sprintf("[%.3g, %.3g)", lo+float64(b)*width, lo+float64(b+1)*width), c, bar)
+	}
+	return r
+}
+
+// Fig4 reproduces Figure 4: per-batch p50/p75/p90/p99 of a data stream
+// (20 batches of 100k values), comparing the actual quantiles with a
+// 0.005-rank-accurate sketch and a 0.01-relative-accurate sketch.
+func Fig4(cfg Config) []Result {
+	const batches = 20
+	batchSize := 100_000
+	if cfg.N < batches*batchSize {
+		batchSize = cfg.N / batches
+		if batchSize < 1000 {
+			batchSize = 1000
+		}
+	}
+	quantiles := []float64{0.5, 0.75, 0.9, 0.99}
+	var results []Result
+	for _, q := range quantiles {
+		r := Result{
+			ID:      "fig4",
+			Title:   fmt.Sprintf("p%g per batch: actual vs rank-error vs relative-error sketch", q*100),
+			Columns: []string{"batch", "actual", "RelErrSketch", "RankErrSketch", "rel err (rel)", "rel err (rank)"},
+		}
+		for b := 0; b < batches; b++ {
+			values := datagen.Latency(batchSize, cfg.Seed+100+uint64(b))
+			relSketch, _ := FactoryByName("latency", "DDSketch")
+			rel, _ := Fill(relSketch, values)
+			rank := newGKQuantiler(0.005)
+			for _, v := range values {
+				_ = rank.Add(v)
+			}
+			sorted := append([]float64(nil), values...)
+			sort.Float64s(sorted)
+			actual := exact.Quantile(sorted, q)
+			relEst, _ := rel.Quantile(q)
+			rankEst, _ := rank.Quantile(q)
+			r.AddRow(b+1, actual, relEst, rankEst,
+				exact.RelativeError(relEst, actual), exact.RelativeError(rankEst, actual))
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// Fig5 reproduces Figure 5: histograms of the pareto, span and power
+// datasets.
+func Fig5(cfg Config) []Result {
+	n := cfg.N
+	if n > 500_000 {
+		n = 500_000
+	}
+	var results []Result
+	for _, name := range datagen.Names() {
+		values := datagen.ByName(name, n)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		// Cap the plot at p99.9 so the heavy tails stay visible.
+		hi := exact.Quantile(sorted, 0.999)
+		results = append(results, textHistogram("fig5", name+" dataset (to p99.9)", sorted, sorted[0], hi))
+	}
+	return results
+}
+
+// Fig6 reproduces Figure 6: sketch size in memory (kB) as N grows, per
+// dataset and sketch.
+func Fig6(cfg Config) Result {
+	r := Result{
+		ID:      "fig6",
+		Title:   "Sketch size in memory (kB)",
+		Columns: []string{"dataset", "N", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"},
+		Notes: []string{
+			"expected shape: Moments flat & tiny; GKArray small; DDSketch grows ~log N;",
+			"DDSketch (fast) 1.4-2x DDSketch; HDR largest on wide-range data (paper Figure 6)",
+		},
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, cfg.N)
+		for _, n := range nGrid(cfg.N) {
+			row := []any{dataset, n}
+			for _, f := range Sketches(dataset) {
+				s, _ := Fill(f, values[:n])
+				row = append(row, fmt.Sprintf("%.2f", float64(s.SizeBytes())/1000))
+			}
+			r.AddRow(row...)
+		}
+	}
+	return r
+}
+
+// Fig7 reproduces Figure 7: the number of DDSketch bins for the pareto
+// dataset as N grows — logarithmic growth, well under the m = 2048
+// budget.
+func Fig7(cfg Config) Result {
+	r := Result{
+		ID:      "fig7",
+		Title:   "Number of bins in DDSketch for the pareto dataset",
+		Columns: []string{"N", "bins", "limit"},
+		Notes: []string{
+			"the paper reaches ~900 bins at N = 10^10, under half the 2048 limit",
+		},
+	}
+	values := datagen.Pareto(cfg.N)
+	f, _ := FactoryByName("pareto", "DDSketch")
+	s := f.New()
+	a := s.(*ddsketchAdapter)
+	grid := nGrid(cfg.N)
+	next := 0
+	for i, v := range values {
+		_ = a.Add(v)
+		if next < len(grid) && i+1 == grid[next] {
+			r.AddRow(grid[next], a.sketch.NumBins(), DDSketchMaxBins)
+			next++
+		}
+	}
+	return r
+}
+
+// Fig8 reproduces Figure 8: average time to add a value (ns), per
+// dataset and sketch.
+func Fig8(cfg Config) Result {
+	r := Result{
+		ID:      "fig8",
+		Title:   "Average time per Add operation (ns)",
+		Columns: []string{"dataset", "N", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"},
+		Notes: []string{
+			"expected shape: GKArray slowest; DDSketch (fast) fastest; HDR faster than",
+			"logarithmic DDSketch (paper Figure 8); see also `go test -bench Fig8`",
+		},
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, cfg.N)
+		for _, n := range nGrid(cfg.N) {
+			row := []any{dataset, n}
+			for _, f := range Sketches(dataset) {
+				s := f.New()
+				start := time.Now()
+				for _, v := range values[:n] {
+					_ = s.Add(v)
+				}
+				elapsed := time.Since(start)
+				row = append(row, fmt.Sprintf("%.1f", float64(elapsed.Nanoseconds())/float64(n)))
+			}
+			r.AddRow(row...)
+		}
+	}
+	return r
+}
+
+// Fig9 reproduces Figure 9: average time to merge two sketches of
+// roughly the same size (µs), as a function of the merged value count.
+func Fig9(cfg Config) Result {
+	r := Result{
+		ID:      "fig9",
+		Title:   "Average time to merge two sketches (us)",
+		Columns: []string{"dataset", "N (merged)", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"},
+		Notes: []string{
+			"expected shape: Moments fastest; DDSketch ~an order of magnitude faster",
+			"than GKArray and HDR (paper Figure 9)",
+		},
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, cfg.N)
+		for _, n := range nGrid(cfg.N) {
+			row := []any{dataset, n}
+			for _, f := range Sketches(dataset) {
+				half := n / 2
+				src, _ := Fill(f, values[half:n])
+				reps := 1
+				if n <= 10_000 {
+					reps = 50
+				} else if n <= 1_000_000 {
+					reps = 5
+				}
+				best := time.Duration(math.MaxInt64)
+				for rep := 0; rep < reps; rep++ {
+					dst, _ := Fill(f, values[:half])
+					start := time.Now()
+					_ = dst.MergeWith(src)
+					if d := time.Since(start); d < best {
+						best = d
+					}
+				}
+				row = append(row, fmt.Sprintf("%.2f", float64(best.Nanoseconds())/1000))
+			}
+			r.AddRow(row...)
+		}
+	}
+	return r
+}
+
+// accuracyTable runs the shared machinery of Figures 10 and 11.
+func accuracyTable(cfg Config, id, title string, errFn func(sorted []float64, estimate float64, q float64) float64) Result {
+	r := Result{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"dataset", "N", "q", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"},
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, cfg.N)
+		for _, n := range nGrid(cfg.N) {
+			sorted := append([]float64(nil), values[:n]...)
+			sort.Float64s(sorted)
+			sketches := make([]Quantiler, 0, 5)
+			for _, f := range Sketches(dataset) {
+				s, _ := Fill(f, values[:n])
+				sketches = append(sketches, s)
+			}
+			for _, q := range accuracyQuantiles {
+				row := []any{dataset, n, q}
+				for _, s := range sketches {
+					est, err := s.Quantile(q)
+					if err != nil {
+						row = append(row, "err")
+						continue
+					}
+					row = append(row, fmt.Sprintf("%.2e", errFn(sorted, est, q)))
+				}
+				r.AddRow(row...)
+			}
+		}
+	}
+	return r
+}
+
+// Fig10 reproduces Figure 10: relative error of the p50/p95/p99
+// estimates.
+func Fig10(cfg Config) Result {
+	r := accuracyTable(cfg, "fig10", "Relative error of quantile estimates",
+		func(sorted []float64, est float64, q float64) float64 {
+			return exact.RelativeError(est, exact.Quantile(sorted, q))
+		})
+	r.Notes = []string{
+		"expected shape: DDSketch & HDR <= 0.01 everywhere; GKArray and Moments off by",
+		"orders of magnitude at p95/p99 on pareto/span (paper Figure 10)",
+	}
+	return r
+}
+
+// Fig11 reproduces Figure 11: rank error of the p50/p95/p99 estimates.
+func Fig11(cfg Config) Result {
+	r := accuracyTable(cfg, "fig11", "Rank error of quantile estimates",
+		func(sorted []float64, est float64, q float64) float64 {
+			return exact.RankError(sorted, est, q)
+		})
+	r.Notes = []string{
+		"expected shape: GKArray <= eps = 0.01; DDSketch/HDR competitive or better at",
+		"high quantiles; Moments worst (paper Figure 11)",
+	}
+	return r
+}
+
+// Bounds reproduces the §3.3 size-bound examples: the analytic sketch
+// size bounds for the exponential and Pareto distributions with
+// δ1 = δ2 = e^−10 and α = 0.01, against the bins actually used by an
+// unbounded DDSketch on sampled data.
+func Bounds(cfg Config) Result {
+	r := Result{
+		ID:      "bounds",
+		Title:   "Section 3.3 size bounds vs measured bins (alpha=0.01, upper-half quantiles)",
+		Columns: []string{"distribution", "N", "analytic bound", "measured bins (q>=0.5)"},
+		Notes: []string{
+			"bounds: exponential 51(log(4 log n + 41) - log 0.47)+1; pareto 51(4 log n + 11)+1;",
+			"the paper notes measured sizes are far below the analytic bounds (§4.2)",
+		},
+	}
+	rng := datagen.NewRNG(cfg.Seed + 7)
+	for _, n := range nGrid(cfg.N) {
+		logN := math.Log(float64(n))
+		expBound := 51*(math.Log(4*logN+41)-math.Log(0.47)) + 1
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Exponential(1)
+		}
+		r.AddRow("exponential(1)", n, math.Ceil(expBound), measureUpperHalfBins(values))
+	}
+	for _, n := range nGrid(cfg.N) {
+		logN := math.Log(float64(n))
+		paretoBound := 51*(4*logN+11) + 1
+		values := datagen.ParetoSeeded(n, cfg.Seed+8)
+		r.AddRow("pareto(1,1)", n, math.Ceil(paretoBound), measureUpperHalfBins(values))
+	}
+	return r
+}
+
+// measureUpperHalfBins counts the DDSketch bins needed for the upper
+// half of the data (the (0.5, 1) quantile range the §3.3 examples track).
+func measureUpperHalfBins(values []float64) int {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	upper := sorted[len(sorted)/2:]
+	f, _ := FactoryByName("pareto", "DDSketch")
+	s := f.New()
+	for _, v := range upper {
+		_ = s.Add(v)
+	}
+	return s.(*ddsketchAdapter).sketch.NumBins()
+}
+
+// newGKQuantiler builds a GK adapter with a custom ε (Figure 4 uses
+// 0.005 instead of the Table 2 default).
+func newGKQuantiler(eps float64) Quantiler {
+	s, err := gkNew(eps)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

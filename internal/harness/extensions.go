@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+	"github.com/ddsketch-go/ddsketch/internal/kll"
+	"github.com/ddsketch-go/ddsketch/internal/tdigest"
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// This file holds the experiments that go beyond the paper's figures:
+// an ablation over the implementation choices §2.2 discusses (index
+// mapping × bucket store), and a comparison against t-digest, the
+// related-work sketch of §1.2 that the paper describes but does not
+// benchmark.
+
+// Ablation sweeps every mapping × store combination of the library on
+// the span dataset, reporting insertion speed, memory, and p99 relative
+// error. It quantifies the §2.2 trade-offs: interpolated mappings buy
+// speed with buckets; sparse stores buy memory with speed.
+func Ablation(cfg Config) Result {
+	n := cfg.N
+	if n > 2_000_000 {
+		n = 2_000_000
+	}
+	values := datagen.SpanSeeded(n, cfg.Seed)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	p99 := exact.Quantile(sorted, 0.99)
+
+	mappings := []struct {
+		name string
+		new  func(float64) (mapping.IndexMapping, error)
+	}{
+		{"log", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }},
+		{"linear", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLinearlyInterpolated(a) }},
+		{"quadratic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewQuadraticallyInterpolated(a) }},
+		{"cubic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewCubicallyInterpolated(a) }},
+	}
+	stores := []struct {
+		name     string
+		provider store.Provider
+	}{
+		{"dense", store.DenseStoreProvider()},
+		{"collapsing(2048)", store.CollapsingLowestProvider(DDSketchMaxBins)},
+		{"sparse", store.SparseStoreProvider()},
+		{"paginated", store.BufferedPaginatedProvider()},
+	}
+
+	r := Result{
+		ID:      "ablation",
+		Title:   fmt.Sprintf("Mapping x store ablation (span dataset, N=%d, alpha=%g)", n, DDSketchAlpha),
+		Columns: []string{"mapping", "store", "add ns", "size kB", "bins", "p99 rel err"},
+		Notes: []string{
+			"interpolated mappings trade buckets for insertion speed (1/ln2, 0.75/ln2, 0.70/ln2);",
+			"sparse stores trade insertion speed for memory; accuracy holds everywhere",
+		},
+	}
+	for _, m := range mappings {
+		for _, st := range stores {
+			im, err := m.new(DDSketchAlpha)
+			if err != nil {
+				continue
+			}
+			s := ddsketch.NewWithConfig(im, st.provider, st.provider)
+			start := time.Now()
+			for _, v := range values {
+				_ = s.Add(v)
+			}
+			elapsed := time.Since(start)
+			est, err := s.Quantile(0.99)
+			if err != nil {
+				continue
+			}
+			r.AddRow(m.name, st.name,
+				fmt.Sprintf("%.1f", float64(elapsed.Nanoseconds())/float64(n)),
+				fmt.Sprintf("%.2f", float64(s.SizeBytes())/1000),
+				s.NumBins(),
+				fmt.Sprintf("%.2e", exact.RelativeError(est, p99)))
+		}
+	}
+	return r
+}
+
+// Related compares DDSketch with the two related-work sketches of §1.2
+// that the paper discusses but does not benchmark: t-digest (biased rank
+// error, used by Elasticsearch) and KLL (randomized, fully mergeable,
+// O((1/ε)·loglog(1/δ)) space). Both achieve good rank accuracy; neither
+// bounds relative error, which is the paper's point.
+func Related(cfg Config) Result {
+	r := Result{
+		ID:      "related",
+		Title:   "DDSketch vs t-digest vs KLL (related work, §1.2)",
+		Columns: []string{"dataset", "q", "DD rel err", "TD rel err", "KLL rel err", "DD rank err", "TD rank err", "KLL rank err"},
+		Notes: []string{
+			"t-digest (compression 100) and KLL (k=200) have small rank error but no",
+			"relative guarantee; DDSketch bounds relative error at alpha = 0.01 everywhere",
+		},
+	}
+	n := cfg.N
+	if n > 2_000_000 {
+		n = 2_000_000
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, n)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+
+		dd, err := ddsketch.NewCollapsing(DDSketchAlpha, DDSketchMaxBins)
+		if err != nil {
+			continue
+		}
+		td, err := tdigest.New(100)
+		if err != nil {
+			continue
+		}
+		kl, err := kll.New(200, cfg.Seed)
+		if err != nil {
+			continue
+		}
+		for _, v := range values {
+			_ = dd.Add(v)
+			_ = td.Add(v)
+			_ = kl.Add(v)
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			exactQ := exact.Quantile(sorted, q)
+			ddEst, err1 := dd.Quantile(q)
+			tdEst, err2 := td.Quantile(q)
+			klEst, err3 := kl.Quantile(q)
+			if err1 != nil || err2 != nil || err3 != nil {
+				continue
+			}
+			r.AddRow(dataset, q,
+				fmt.Sprintf("%.2e", exact.RelativeError(ddEst, exactQ)),
+				fmt.Sprintf("%.2e", exact.RelativeError(tdEst, exactQ)),
+				fmt.Sprintf("%.2e", exact.RelativeError(klEst, exactQ)),
+				fmt.Sprintf("%.2e", exact.RankError(sorted, ddEst, q)),
+				fmt.Sprintf("%.2e", exact.RankError(sorted, tdEst, q)),
+				fmt.Sprintf("%.2e", exact.RankError(sorted, klEst, q)))
+		}
+	}
+	return r
+}

@@ -1,0 +1,12 @@
+package harness
+
+import "github.com/ddsketch-go/ddsketch/internal/gk"
+
+// gkNew builds a GK adapter with a custom rank accuracy.
+func gkNew(eps float64) (Quantiler, error) {
+	s, err := gk.New(eps)
+	if err != nil {
+		return nil, err
+	}
+	return &gkAdapter{sketch: s}, nil
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+// smallConfig keeps the full experiment suite fast enough for the unit
+// test run.
+func smallConfig() Config { return Config{N: 20_000, Seed: 1} }
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			results, err := Run(id, smallConfig())
+			if err != nil {
+				t.Fatalf("Run(%q): %v", id, err)
+			}
+			if len(results) == 0 {
+				t.Fatalf("Run(%q): no results", id)
+			}
+			for _, r := range results {
+				if len(r.Rows) == 0 {
+					t.Errorf("Run(%q): empty table %q", id, r.Title)
+				}
+				var sb strings.Builder
+				if err := r.Render(&sb); err != nil {
+					t.Fatalf("Render: %v", err)
+				}
+				out := sb.String()
+				if !strings.Contains(out, r.ID) || !strings.Contains(out, r.Columns[0]) {
+					t.Errorf("Run(%q): rendering missing header:\n%s", id, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", smallConfig()); err == nil {
+		t.Error("Run(fig99): want error")
+	}
+}
+
+func TestSketchFactoriesProduceWorkingSketches(t *testing.T) {
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, 5000)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		for _, f := range Sketches(dataset) {
+			s, rejected := Fill(f, values)
+			if rejected > 0 {
+				t.Errorf("%s on %s: rejected %d values", f.Name, dataset, rejected)
+			}
+			for _, q := range []float64{0.5, 0.99} {
+				got, err := s.Quantile(q)
+				if err != nil {
+					t.Fatalf("%s on %s: Quantile(%g): %v", f.Name, dataset, q, err)
+				}
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Errorf("%s on %s: Quantile(%g) = %g", f.Name, dataset, q, got)
+				}
+			}
+			if s.SizeBytes() <= 0 {
+				t.Errorf("%s: SizeBytes = %d", f.Name, s.SizeBytes())
+			}
+			if s.Name() != f.Name {
+				t.Errorf("factory %q produced sketch named %q", f.Name, s.Name())
+			}
+		}
+	}
+}
+
+func TestRelativeErrorGuaranteesHold(t *testing.T) {
+	// The harness-level restatement of the paper's headline comparison:
+	// on every dataset, DDSketch (both variants) and HDR stay within
+	// their relative-error guarantees at every probed quantile.
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, 50_000)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		for _, name := range []string{"DDSketch", "DDSketch (fast)", "HDRHistogram"} {
+			f, ok := FactoryByName(dataset, name)
+			if !ok {
+				t.Fatalf("missing factory %q", name)
+			}
+			s, _ := Fill(f, values)
+			for _, q := range accuracyQuantiles {
+				est, err := s.Quantile(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				relErr := exact.RelativeError(est, exact.Quantile(sorted, q))
+				// alpha for DDSketch; 10^-d for HDR, plus integer-rounding
+				// slack at small magnitudes (power values scale to ~1e5).
+				if relErr > 0.0105 {
+					t.Errorf("%s on %s: q=%g rel err %g > guarantee", name, dataset, q, relErr)
+				}
+			}
+		}
+	}
+}
+
+func TestGKRankGuaranteeHolds(t *testing.T) {
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, 50_000)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		f, _ := FactoryByName(dataset, "GKArray")
+		s, _ := Fill(f, values)
+		for _, q := range accuracyQuantiles {
+			est, err := s.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rankErr := exact.RankError(sorted, est, q); rankErr > GKEpsilon+0.001 {
+				t.Errorf("GKArray on %s: q=%g rank err %g > eps", dataset, q, rankErr)
+			}
+		}
+	}
+}
+
+func TestHeavyTailRelativeErrorGap(t *testing.T) {
+	// Figure 10's key qualitative claim: on the pareto dataset the
+	// rank-error sketches have orders-of-magnitude worse relative error
+	// at p99 than DDSketch.
+	values := datagen.Pareto(200_000)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	errFor := func(name string) float64 {
+		f, _ := FactoryByName("pareto", name)
+		s, _ := Fill(f, values)
+		est, err := s.Quantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exact.RelativeError(est, exact.Quantile(sorted, 0.99))
+	}
+	dd := errFor("DDSketch")
+	gkErr := errFor("GKArray")
+	if dd > 0.01*1.001 {
+		t.Errorf("DDSketch p99 rel err %g > alpha", dd)
+	}
+	if gkErr < 2*dd {
+		t.Errorf("expected GKArray p99 rel err (%g) to exceed DDSketch's (%g) on heavy tail", gkErr, dd)
+	}
+	t.Logf("p99 relative error on pareto: DDSketch=%.2e GKArray=%.2e (ratio %.0fx)", dd, gkErr, gkErr/dd)
+}
+
+func TestMergeWorksAcrossAllFactories(t *testing.T) {
+	values := datagen.Power(10_000)
+	for _, f := range Sketches("power") {
+		a, _ := Fill(f, values[:5000])
+		b, _ := Fill(f, values[5000:])
+		if err := a.MergeWith(b); err != nil {
+			t.Errorf("%s: MergeWith: %v", f.Name, err)
+		}
+		// Merging across factory types must fail cleanly.
+		other, _ := Fill(Sketches("power")[0], values[:10])
+		if f.Name != "DDSketch" {
+			if err := a.MergeWith(other); err == nil {
+				t.Errorf("%s: merge with %s: want error", f.Name, other.Name())
+			}
+		}
+	}
+}
+
+func TestHDRRejectsOutOfRange(t *testing.T) {
+	f, _ := FactoryByName("power", "HDRHistogram")
+	s := f.New()
+	if err := s.Add(1e12); err == nil {
+		t.Error("HDR accepted a value far beyond its configured range")
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	if _, ok := FactoryByName("pareto", "DDSketch"); !ok {
+		t.Error("DDSketch factory missing")
+	}
+	if _, ok := FactoryByName("pareto", "nope"); ok {
+		t.Error("unknown factory found")
+	}
+}
+
+func TestNGrid(t *testing.T) {
+	got := nGrid(1_000_000)
+	want := []int{1000, 10_000, 100_000, 1_000_000}
+	if len(got) != len(want) {
+		t.Fatalf("nGrid = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nGrid = %v, want %v", got, want)
+		}
+	}
+	got = nGrid(50_000)
+	want = []int{1000, 10_000, 50_000}
+	if len(got) != len(want) || got[2] != 50_000 {
+		t.Fatalf("nGrid(50000) = %v, want %v", got, want)
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{ID: "t", Title: "x", Columns: []string{"a", "b"}}
+	r.AddRow(1.5, "s")
+	r.AddRow(12345678.0, 0.00001)
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1.235e+07") {
+		t.Errorf("large float not in scientific notation:\n%s", out)
+	}
+}

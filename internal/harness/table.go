@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Result is one regenerated table or figure, rendered as an aligned text
+// table with optional footnotes.
+type Result struct {
+	ID      string // experiment id, e.g. "fig6"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Result) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// formatFloat renders floats compactly: scientific notation for very
+// large/small magnitudes, fixed precision otherwise.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e7 || av < 1e-4:
+		return fmt.Sprintf("%.3e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table to w.
+func (r *Result) Render(w io.Writer) error {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(r.Columns); err != nil {
+		return err
+	}
+	rule := make([]string, len(r.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}

@@ -1,0 +1,309 @@
+// Package hdr implements an HDR (High Dynamic Range) Histogram, the
+// other relative-error sketch the paper benchmarks against (§1.2, §4;
+// reference [31]).
+//
+// An HDR histogram records non-negative integer values between a
+// configured lowest and highest trackable value, preserving d
+// significant decimal digits: the relative error of any reported value
+// is at most 10^−d (for values at least lowestTrackable). The bucket
+// layout is chosen for insertion speed: sub-buckets are linear within a
+// bucket and buckets double in width, so indexing a value needs only a
+// count-leading-zeros and shifts — no logarithm. The price, as the paper
+// notes, is a bounded value range fixed at construction time and a large
+// contiguous counts array.
+//
+// Unlike DDSketch the histogram cannot adapt its range to the data:
+// recording a value above the configured maximum fails, which is exactly
+// the limitation Table 1 of the paper lists ("range: bounded").
+package hdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Errors returned by the histogram.
+var (
+	// ErrEmptyHistogram is returned by queries on a histogram with no
+	// recorded values.
+	ErrEmptyHistogram = errors.New("hdr: empty histogram")
+	// ErrValueOutOfRange is returned when recording a value outside the
+	// trackable range.
+	ErrValueOutOfRange = errors.New("hdr: value outside trackable range")
+	// ErrInvalidConfig is returned for unusable constructor parameters.
+	ErrInvalidConfig = errors.New("hdr: invalid configuration")
+	// ErrIncompatible is returned when merging histograms whose
+	// configurations differ in significant digits.
+	ErrIncompatible = errors.New("hdr: incompatible histograms")
+	// ErrQuantileOutOfRange is returned when q is outside [0, 1].
+	ErrQuantileOutOfRange = errors.New("hdr: quantile must be between 0 and 1")
+)
+
+// Histogram records integer values in [LowestTrackable, HighestTrackable]
+// with a given number of significant decimal digits.
+//
+// A Histogram is not safe for concurrent use.
+type Histogram struct {
+	lowestTrackable  int64
+	highestTrackable int64
+	sigDigits        int
+
+	unitMagnitude               int
+	subBucketHalfCountMagnitude int
+	subBucketCount              int
+	subBucketHalfCount          int
+	subBucketMask               int64
+	bucketCount                 int
+
+	counts     []int64
+	totalCount int64
+}
+
+// New returns a histogram tracking values in [lowest, highest] with the
+// given number of significant decimal digits (1 to 5). lowest must be at
+// least 1 (it sets the unit resolution), and highest at least 2·lowest.
+func New(lowest, highest int64, sigDigits int) (*Histogram, error) {
+	if sigDigits < 1 || sigDigits > 5 {
+		return nil, fmt.Errorf("%w: significant digits %d not in [1, 5]", ErrInvalidConfig, sigDigits)
+	}
+	if lowest < 1 {
+		return nil, fmt.Errorf("%w: lowest trackable value %d < 1", ErrInvalidConfig, lowest)
+	}
+	if highest < 2*lowest {
+		return nil, fmt.Errorf("%w: highest trackable value %d < 2·lowest (%d)", ErrInvalidConfig, highest, 2*lowest)
+	}
+	h := &Histogram{
+		lowestTrackable:  lowest,
+		highestTrackable: highest,
+		sigDigits:        sigDigits,
+	}
+	// The largest value that must still resolve to a distinct bucket at
+	// single-unit precision: 2·10^d.
+	largestSingleUnit := 2 * int64(math.Pow10(sigDigits))
+	subBucketCountMagnitude := int(math.Ceil(math.Log2(float64(largestSingleUnit))))
+	h.subBucketHalfCountMagnitude = subBucketCountMagnitude - 1
+	if h.subBucketHalfCountMagnitude < 0 {
+		h.subBucketHalfCountMagnitude = 0
+	}
+	h.unitMagnitude = int(math.Floor(math.Log2(float64(lowest))))
+	h.subBucketCount = 1 << uint(h.subBucketHalfCountMagnitude+1)
+	h.subBucketHalfCount = h.subBucketCount / 2
+	h.subBucketMask = int64(h.subBucketCount-1) << uint(h.unitMagnitude)
+
+	// Number of doubling buckets needed to cover highest.
+	smallestUntrackable := int64(h.subBucketCount) << uint(h.unitMagnitude)
+	bucketsNeeded := 1
+	for smallestUntrackable <= highest {
+		if smallestUntrackable > math.MaxInt64/2 {
+			bucketsNeeded++
+			break
+		}
+		smallestUntrackable <<= 1
+		bucketsNeeded++
+	}
+	h.bucketCount = bucketsNeeded
+	h.counts = make([]int64, (h.bucketCount+1)*h.subBucketHalfCount)
+	return h, nil
+}
+
+// LowestTrackable returns the smallest recordable value.
+func (h *Histogram) LowestTrackable() int64 { return h.lowestTrackable }
+
+// HighestTrackable returns the largest recordable value.
+func (h *Histogram) HighestTrackable() int64 { return h.highestTrackable }
+
+// SignificantDigits returns the configured decimal precision d; reported
+// values have relative error at most 10^−d.
+func (h *Histogram) SignificantDigits() int { return h.sigDigits }
+
+// TotalCount returns the number of recorded values.
+func (h *Histogram) TotalCount() int64 { return h.totalCount }
+
+// IsEmpty reports whether no values have been recorded.
+func (h *Histogram) IsEmpty() bool { return h.totalCount == 0 }
+
+func (h *Histogram) bucketIndex(v int64) int {
+	// Smallest power of two containing v, computed branch-free with CLZ —
+	// the trick that makes HDR insertion faster than computing logarithms.
+	pow2Ceiling := 64 - bits.LeadingZeros64(uint64(v|h.subBucketMask))
+	return pow2Ceiling - h.unitMagnitude - (h.subBucketHalfCountMagnitude + 1)
+}
+
+func (h *Histogram) subBucketIndex(v int64, bucketIdx int) int {
+	return int(v >> uint(bucketIdx+h.unitMagnitude))
+}
+
+func (h *Histogram) countsIndex(bucketIdx, subBucketIdx int) int {
+	baseIdx := (bucketIdx + 1) << uint(h.subBucketHalfCountMagnitude)
+	return baseIdx + subBucketIdx - h.subBucketHalfCount
+}
+
+func (h *Histogram) countsIndexFor(v int64) int {
+	bucketIdx := h.bucketIndex(v)
+	return h.countsIndex(bucketIdx, h.subBucketIndex(v, bucketIdx))
+}
+
+// valueFor returns the lowest value mapped to counts index idx.
+func (h *Histogram) valueFor(idx int) int64 {
+	bucketIdx := idx>>uint(h.subBucketHalfCountMagnitude) - 1
+	subBucketIdx := idx&(h.subBucketHalfCount-1) + h.subBucketHalfCount
+	if bucketIdx < 0 {
+		bucketIdx = 0
+		subBucketIdx -= h.subBucketHalfCount
+	}
+	return int64(subBucketIdx) << uint(bucketIdx+h.unitMagnitude)
+}
+
+// bucketWidth returns the size of the equivalent-value range at idx.
+func (h *Histogram) bucketWidth(idx int) int64 {
+	bucketIdx := idx>>uint(h.subBucketHalfCountMagnitude) - 1
+	if bucketIdx < 0 {
+		bucketIdx = 0
+	}
+	return int64(1) << uint(bucketIdx+h.unitMagnitude)
+}
+
+// medianEquivalentValue returns the representative (middle) value of the
+// bucket at idx; reporting it keeps the relative error within 10^−d on
+// both sides.
+func (h *Histogram) medianEquivalentValue(idx int) int64 {
+	return h.valueFor(idx) + h.bucketWidth(idx)/2
+}
+
+// Record adds one occurrence of v.
+func (h *Histogram) Record(v int64) error { return h.RecordWithCount(v, 1) }
+
+// RecordWithCount adds count occurrences of v.
+func (h *Histogram) RecordWithCount(v int64, count int64) error {
+	if v < 0 || v > h.highestTrackable {
+		return fmt.Errorf("%w: %d not in [0, %d]", ErrValueOutOfRange, v, h.highestTrackable)
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w: count %d", ErrInvalidConfig, count)
+	}
+	idx := h.countsIndexFor(v)
+	if idx < 0 || idx >= len(h.counts) {
+		return fmt.Errorf("%w: %d maps outside the counts array", ErrValueOutOfRange, v)
+	}
+	h.counts[idx] += count
+	h.totalCount += count
+	return nil
+}
+
+// Quantile returns the recorded value at quantile q, accurate to the
+// configured number of significant digits.
+func (h *Histogram) Quantile(q float64) (int64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: got %v", ErrQuantileOutOfRange, q)
+	}
+	if h.totalCount == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	// The paper's lower-quantile definition: rank ⌊1 + q(n−1)⌋, 1-based.
+	target := int64(math.Floor(1 + q*float64(h.totalCount-1)))
+	cum := int64(0)
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			return h.medianEquivalentValue(idx), nil
+		}
+	}
+	// Unreachable when totalCount > 0, but keep a sane fallback.
+	return h.medianEquivalentValue(len(h.counts) - 1), nil
+}
+
+// Quantiles returns estimates for each of the given quantiles.
+func (h *Histogram) Quantiles(qs []float64) ([]int64, error) {
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		v, err := h.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Min returns the lowest recorded value's representative.
+func (h *Histogram) Min() (int64, error) {
+	if h.totalCount == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	for idx, c := range h.counts {
+		if c > 0 {
+			return h.valueFor(idx), nil
+		}
+	}
+	return 0, ErrEmptyHistogram
+}
+
+// Max returns the highest recorded value's representative.
+func (h *Histogram) Max() (int64, error) {
+	if h.totalCount == 0 {
+		return 0, ErrEmptyHistogram
+	}
+	for idx := len(h.counts) - 1; idx >= 0; idx-- {
+		if h.counts[idx] > 0 {
+			return h.valueFor(idx) + h.bucketWidth(idx) - 1, nil
+		}
+	}
+	return 0, ErrEmptyHistogram
+}
+
+// MergeWith adds all of other's recorded values into h, walking other's
+// non-empty buckets and re-recording their representative values. This
+// is how HDR histograms merge across configurations; it is correct but
+// slow compared to DDSketch's bucket-count addition, which is the
+// behaviour Figure 9 of the paper measures.
+func (h *Histogram) MergeWith(other *Histogram) error {
+	if other.sigDigits != h.sigDigits {
+		return fmt.Errorf("%w: %d vs %d significant digits", ErrIncompatible, h.sigDigits, other.sigDigits)
+	}
+	for idx, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		v := other.medianEquivalentValue(idx)
+		if err := h.RecordWithCount(v, c); err != nil {
+			return fmt.Errorf("hdr: merging bucket %d (value %d): %w", idx, v, err)
+		}
+	}
+	return nil
+}
+
+// Copy returns a deep copy of the histogram.
+func (h *Histogram) Copy() *Histogram {
+	c := *h
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
+}
+
+// Clear empties the histogram, retaining its configuration.
+func (h *Histogram) Clear() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.totalCount = 0
+}
+
+// SizeBytes estimates the in-memory footprint: the counts array plus
+// fixed fields. The array is sized by the configured range, not by the
+// data — the flat lines of Figure 6.
+func (h *Histogram) SizeBytes() int {
+	return 8*len(h.counts) + 96
+}
+
+// NumBuckets returns the length of the counts array.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// String implements fmt.Stringer.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("HDRHistogram(range=[%d, %d], digits=%d, buckets=%d, count=%d)",
+		h.lowestTrackable, h.highestTrackable, h.sigDigits, len(h.counts), h.totalCount)
+}

@@ -1,0 +1,334 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustHistogram(t *testing.T, lowest, highest int64, digits int) *Histogram {
+	t.Helper()
+	h, err := New(lowest, highest, digits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		lowest, highest int64
+		digits          int
+	}{
+		{1, 1000, 0}, {1, 1000, 6}, {0, 1000, 2}, {100, 150, 2},
+	}
+	for _, c := range cases {
+		if _, err := New(c.lowest, c.highest, c.digits); err == nil {
+			t.Errorf("New(%d, %d, %d): want error", c.lowest, c.highest, c.digits)
+		}
+	}
+	if _, err := New(1, 3600000000, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndQuantileExactSmall(t *testing.T) {
+	h := mustHistogram(t, 1, 100000, 3)
+	for i := int64(1); i <= 100; i++ {
+		if err := h.Record(i * 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.TotalCount() != 100 {
+		t.Fatalf("TotalCount = %d", h.TotalCount())
+	}
+	got, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value of rank ⌊1+0.5·99⌋ = 50 → 5000, with 3-digit precision.
+	if math.Abs(float64(got)-5000)/5000 > 1e-3 {
+		t.Errorf("Quantile(0.5) = %d, want ≈5000", got)
+	}
+}
+
+// checkSignificantDigits asserts the HDR guarantee: every reported
+// quantile is within 10^−d of the exact value.
+func checkSignificantDigits(t *testing.T, h *Histogram, values []int64, digits int) {
+	t.Helper()
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	tolerance := math.Pow(10, -float64(digits)) * 1.001
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := int(math.Floor(1 + q*float64(len(sorted)-1)))
+		want := sorted[rank-1]
+		if want == 0 {
+			continue
+		}
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > tolerance {
+			t.Errorf("q=%g: got %d, want %d (rel err %g > 10^-%d)", q, got, want, relErr, digits)
+		}
+	}
+}
+
+func TestSignificantDigitGuaranteeUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, digits := range []int{1, 2, 3} {
+		h := mustHistogram(t, 1, 10_000_000, digits)
+		values := make([]int64, 20000)
+		for i := range values {
+			values[i] = int64(rng.Intn(9_000_000) + 1)
+			if err := h.Record(values[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkSignificantDigits(t, h, values, digits)
+	}
+}
+
+func TestSignificantDigitGuaranteeWideRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := mustHistogram(t, 1, 2_000_000_000_000, 2) // the span dataset range
+	values := make([]int64, 20000)
+	for i := range values {
+		// log-uniform across the whole range
+		values[i] = int64(math.Exp(rng.Float64()*math.Log(1.9e12-100)) + 100)
+		if err := h.Record(values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSignificantDigits(t, h, values, 2)
+}
+
+func TestValueOutOfRange(t *testing.T) {
+	h := mustHistogram(t, 1, 1000000, 2)
+	if err := h.Record(-1); err == nil {
+		t.Error("Record(-1): want error")
+	}
+	if err := h.Record(2000000000); err == nil {
+		t.Error("Record(beyond highest): want error — HDR has a bounded range")
+	}
+	if h.TotalCount() != 0 {
+		t.Error("failed records must not count")
+	}
+}
+
+func TestRecordWithCount(t *testing.T) {
+	h := mustHistogram(t, 1, 100000, 2)
+	if err := h.RecordWithCount(500, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordWithCount(500, 0); err == nil {
+		t.Error("RecordWithCount(count=0): want error")
+	}
+	if h.TotalCount() != 10 {
+		t.Errorf("TotalCount = %d", h.TotalCount())
+	}
+	v, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(v)-500)/500 > 0.01 {
+		t.Errorf("Quantile = %d, want ≈500", v)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	h := mustHistogram(t, 1, 1000, 2)
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty: want error")
+	}
+	_ = h.Record(5)
+	for _, q := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := h.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	h := mustHistogram(t, 1, 1000000, 3)
+	if _, err := h.Min(); err == nil {
+		t.Error("Min on empty: want error")
+	}
+	values := []int64{100, 55555, 999}
+	for _, v := range values {
+		_ = h.Record(v)
+	}
+	min, err := h.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(min)-100)/100 > 0.001*2 {
+		t.Errorf("Min = %d, want ≈100", min)
+	}
+	max, err := h.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(max)-55555)/55555 > 0.001*2 {
+		t.Errorf("Max = %d, want ≈55555", max)
+	}
+}
+
+func TestMergeSameConfig(t *testing.T) {
+	a := mustHistogram(t, 1, 1000000, 2)
+	b := mustHistogram(t, 1, 1000000, 2)
+	values := make([]int64, 0, 20000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		va := int64(rng.Intn(500000) + 1)
+		vb := int64(rng.Intn(900000) + 1)
+		_ = a.Record(va)
+		_ = b.Record(vb)
+		values = append(values, va, vb)
+	}
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCount() != 20000 {
+		t.Fatalf("merged count = %d", a.TotalCount())
+	}
+	// Merging re-records representative values, which can add one extra
+	// rounding step: allow 2×10^−d.
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := a.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := int(math.Floor(1 + q*float64(len(sorted)-1)))
+		want := sorted[rank-1]
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > 0.02 {
+			t.Errorf("q=%g: merged rel err %g", q, relErr)
+		}
+	}
+}
+
+func TestMergeDifferentRanges(t *testing.T) {
+	a := mustHistogram(t, 1, 1000000, 2)
+	b := mustHistogram(t, 1, 1000, 2)
+	_ = b.Record(500)
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCount() != 1 {
+		t.Errorf("count = %d", a.TotalCount())
+	}
+	// Merging into a smaller range fails when values do not fit.
+	_ = a.Record(999999)
+	if err := b.MergeWith(a); err == nil {
+		t.Error("merge of out-of-range values: want error")
+	}
+}
+
+func TestMergeIncompatibleDigits(t *testing.T) {
+	a := mustHistogram(t, 1, 1000, 2)
+	b := mustHistogram(t, 1, 1000, 3)
+	if err := a.MergeWith(b); err == nil {
+		t.Error("merge with different digits: want error")
+	}
+}
+
+func TestCopyAndClear(t *testing.T) {
+	h := mustHistogram(t, 1, 100000, 2)
+	_ = h.Record(123)
+	cp := h.Copy()
+	_ = h.Record(456)
+	if cp.TotalCount() != 1 {
+		t.Errorf("copy count = %d", cp.TotalCount())
+	}
+	h.Clear()
+	if !h.IsEmpty() {
+		t.Error("Clear did not empty histogram")
+	}
+	if cp.TotalCount() != 1 {
+		t.Error("Clear affected the copy")
+	}
+	_ = h.Record(5)
+	if h.TotalCount() != 1 {
+		t.Error("histogram unusable after Clear")
+	}
+}
+
+func TestSizeIndependentOfCount(t *testing.T) {
+	h := mustHistogram(t, 1, 2_000_000_000_000, 2)
+	before := h.SizeBytes()
+	for i := 0; i < 100000; i++ {
+		_ = h.Record(int64(i + 1))
+	}
+	if after := h.SizeBytes(); after != before {
+		t.Errorf("SizeBytes changed with data: %d -> %d", before, after)
+	}
+	// The paper's Figure 6: HDR is significantly larger than DDSketch
+	// (2048 bins ≈ 16–20 kB) on wide ranges.
+	if before < 20000 {
+		t.Errorf("SizeBytes = %d, expected a large fixed array for a 12-decade range", before)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	h := mustHistogram(t, 5, 100000, 3)
+	if h.LowestTrackable() != 5 || h.HighestTrackable() != 100000 || h.SignificantDigits() != 3 {
+		t.Error("accessors disagree with configuration")
+	}
+	if h.NumBuckets() <= 0 {
+		t.Error("NumBuckets <= 0")
+	}
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestQuickSignificantDigits(t *testing.T) {
+	h := mustHistogram(t, 1, 10_000_000, 2)
+	f := func(raw uint32) bool {
+		v := int64(raw%9_999_999) + 1
+		h.Clear()
+		if err := h.Record(v); err != nil {
+			return false
+		}
+		got, err := h.Quantile(0.5)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(got)-float64(v))/float64(v) <= 0.01*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := mustHistogramQuick(1, 1_000_000, 2)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			if err := h.Record(int64(rng.Intn(999_999) + 1)); err != nil {
+				return false
+			}
+		}
+		return h.TotalCount() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustHistogramQuick(lowest, highest int64, digits int) *Histogram {
+	h, err := New(lowest, highest, digits)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,290 @@
+// Package kll implements the KLL sketch of Karnin, Lang and Liberty
+// (FOCS 2016), reference [25] of the DDSketch paper: the randomized
+// rank-error quantile sketch using O((1/ε)·log log(1/δ)) space with full
+// mergeability — the strongest rank-error competitor the paper's related
+// work discusses ("in practice we have found it [relative error] to be
+// worse for the randomized algorithms", §1.2).
+//
+// The sketch keeps a hierarchy of compactors: level h holds items each
+// representing 2^h original values. When a level overflows, its sorted
+// contents are halved by keeping either the odd- or even-indexed items
+// (chosen uniformly) and promoting them to the next level. Capacities
+// decay geometrically toward the lower levels, which is what improves on
+// a plain dyadic merge-and-reduce.
+package kll
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the sketch.
+var (
+	// ErrEmptySketch is returned by queries on a sketch with no values.
+	ErrEmptySketch = errors.New("kll: empty sketch")
+	// ErrInvalidArgument is returned for out-of-domain parameters.
+	ErrInvalidArgument = errors.New("kll: invalid argument")
+)
+
+// capacityDecay is the geometric decay of compactor capacities toward
+// lower levels; 2/3 is the constant from the KLL paper.
+const capacityDecay = 2.0 / 3.0
+
+// Sketch is a KLL quantile sketch with parameter k (the top compactor's
+// capacity); rank error is O(1/k) with high probability.
+type Sketch struct {
+	k          int
+	compactors [][]float64
+	size       int // total retained items across compactors
+	count      float64
+	min, max   float64
+	rngState   uint64 // splitmix64 state for the random halving choices
+}
+
+// New returns a KLL sketch with parameter k (≥ 8). The sketch is
+// randomized; seed fixes its coin flips so runs are reproducible.
+func New(k int, seed uint64) (*Sketch, error) {
+	if k < 8 {
+		return nil, fmt.Errorf("%w: k %d (must be ≥ 8)", ErrInvalidArgument, k)
+	}
+	return &Sketch{
+		k:          k,
+		compactors: [][]float64{make([]float64, 0, k)},
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+		rngState:   seed ^ 0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// K returns the sketch parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Count returns the number of inserted values.
+func (s *Sketch) Count() float64 { return s.count }
+
+// IsEmpty reports whether the sketch holds no values.
+func (s *Sketch) IsEmpty() bool { return s.count == 0 }
+
+// coin returns a uniformly random bit.
+func (s *Sketch) coin() bool {
+	s.rngState += 0x9e3779b97f4a7c15
+	z := s.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return (z^(z>>31))&1 == 1
+}
+
+// capacity returns the capacity of compactor level h given the current
+// number of levels: k·decay^(H−1−h), at least 2.
+func (s *Sketch) capacity(h int) int {
+	depth := len(s.compactors) - 1 - h
+	c := int(math.Ceil(float64(s.k) * math.Pow(capacityDecay, float64(depth))))
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// maxSize returns the total item budget across levels.
+func (s *Sketch) maxSize() int {
+	total := 0
+	for h := range s.compactors {
+		total += s.capacity(h)
+	}
+	return total
+}
+
+// Add inserts a value.
+func (s *Sketch) Add(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w: value %v", ErrInvalidArgument, x)
+	}
+	s.compactors[0] = append(s.compactors[0], x)
+	s.size++
+	s.count++
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if s.size > s.maxSize() {
+		s.compress()
+	}
+	return nil
+}
+
+// compress halves the lowest overflowing compactor, promoting the
+// surviving items one level up.
+func (s *Sketch) compress() {
+	for h := 0; h < len(s.compactors); h++ {
+		if len(s.compactors[h]) < s.capacity(h) {
+			continue
+		}
+		if h+1 >= len(s.compactors) {
+			s.compactors = append(s.compactors, make([]float64, 0, s.k))
+		}
+		level := s.compactors[h]
+		sort.Float64s(level)
+		// Weight conservation requires compacting an even number of
+		// items; an odd level retains its largest item.
+		compactable := level
+		retainOne := len(level)%2 == 1
+		var retained float64
+		if retainOne {
+			retained = level[len(level)-1]
+			compactable = level[:len(level)-1]
+		}
+		offset := 0
+		if s.coin() {
+			offset = 1
+		}
+		promoted := 0
+		for i := offset; i < len(compactable); i += 2 {
+			s.compactors[h+1] = append(s.compactors[h+1], compactable[i])
+			promoted++
+		}
+		newLevel := level[:0]
+		if retainOne {
+			newLevel = append(newLevel, retained)
+		}
+		s.size += promoted + len(newLevel) - len(level)
+		s.compactors[h] = newLevel
+		return
+	}
+}
+
+// items returns all retained (value, weight) pairs sorted by value.
+func (s *Sketch) items() ([]float64, []float64) {
+	values := make([]float64, 0, s.size)
+	weights := make([]float64, 0, s.size)
+	for h, level := range s.compactors {
+		w := math.Ldexp(1, h) // 2^h
+		for _, v := range level {
+			values = append(values, v)
+			weights = append(weights, w)
+		}
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	sortedV := make([]float64, len(values))
+	sortedW := make([]float64, len(values))
+	for i, j := range idx {
+		sortedV[i] = values[j]
+		sortedW[i] = weights[j]
+	}
+	return sortedV, sortedW
+}
+
+// Quantile returns the estimated q-quantile.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: quantile %v", ErrInvalidArgument, q)
+	}
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	if q == 0 {
+		return s.min, nil
+	}
+	if q == 1 {
+		return s.max, nil
+	}
+	values, weights := s.items()
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	rank := q * (total - 1)
+	cum := 0.0
+	for i, v := range values {
+		cum += weights[i]
+		if cum > rank {
+			return v, nil
+		}
+	}
+	return values[len(values)-1], nil
+}
+
+// Quantiles returns estimates for each of the given quantiles.
+func (s *Sketch) Quantiles(qs []float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Min returns the exact minimum inserted value.
+func (s *Sketch) Min() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.min, nil
+}
+
+// Max returns the exact maximum inserted value.
+func (s *Sketch) Max() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.max, nil
+}
+
+// MergeWith folds other into s. KLL is fully mergeable: compactor levels
+// concatenate weight-for-weight, and compression keeps the error bound
+// regardless of the merge tree's shape.
+func (s *Sketch) MergeWith(other *Sketch) error {
+	if other.k != s.k {
+		return fmt.Errorf("%w: merging k=%d into k=%d", ErrInvalidArgument, other.k, s.k)
+	}
+	for len(s.compactors) < len(other.compactors) {
+		s.compactors = append(s.compactors, make([]float64, 0, s.k))
+	}
+	for h, level := range other.compactors {
+		s.compactors[h] = append(s.compactors[h], level...)
+		s.size += len(level)
+	}
+	s.count += other.count
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	for s.size > s.maxSize() {
+		before := s.size
+		s.compress()
+		if s.size >= before {
+			break // all levels below capacity: nothing left to do
+		}
+	}
+	return nil
+}
+
+// NumRetained returns the number of items currently held.
+func (s *Sketch) NumRetained() int { return s.size }
+
+// SizeBytes estimates the in-memory footprint.
+func (s *Sketch) SizeBytes() int {
+	size := 64
+	for _, level := range s.compactors {
+		size += 8*cap(level) + 24
+	}
+	return size
+}
+
+// String implements fmt.Stringer.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("KLL(k=%d, levels=%d, retained=%d, count=%g)",
+		s.k, len(s.compactors), s.size, s.count)
+}

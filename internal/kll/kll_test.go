@@ -1,0 +1,280 @@
+package kll
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func mustSketch(t *testing.T, k int) *Sketch {
+	t.Helper()
+	s, err := New(k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{0, 7, -1} {
+		if _, err := New(k, 1); err == nil {
+			t.Errorf("New(%d): want error", k)
+		}
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := mustSketch(t, 200)
+	if !s.IsEmpty() {
+		t.Error("new sketch not empty")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty: want error")
+	}
+	if _, err := s.Min(); err == nil {
+		t.Error("Min on empty: want error")
+	}
+	if _, err := s.Max(); err == nil {
+		t.Error("Max on empty: want error")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := mustSketch(t, 200)
+	for _, x := range []float64{math.NaN(), math.Inf(-1)} {
+		if err := s.Add(x); err == nil {
+			t.Errorf("Add(%g): want error", x)
+		}
+	}
+}
+
+func TestSmallExact(t *testing.T) {
+	s := mustSketch(t, 200)
+	for i := 1; i <= 50; i++ {
+		_ = s.Add(float64(i))
+	}
+	// Everything still fits in level 0: answers are exact.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(int(math.Floor(1 + q*49)))
+		if got != want {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func checkRankAccuracy(t *testing.T, s *Sketch, sorted []float64, bound float64) {
+	t.Helper()
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rankErr := exact.RankError(sorted, got, q); rankErr > bound {
+			t.Errorf("q=%g: rank error %g > %g", q, rankErr, bound)
+		}
+	}
+}
+
+func TestRankAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := mustSketch(t, 200)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = rng.Float64()
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	// Rank error O(1/k) w.h.p.; 200 → expect well under 3%.
+	checkRankAccuracy(t, s, values, 0.03)
+}
+
+func TestRankAccuracyHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := mustSketch(t, 200)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = 1 / (1 - rng.Float64())
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	checkRankAccuracy(t, s, values, 0.03)
+}
+
+func TestRelativeErrorNotGuaranteed(t *testing.T) {
+	// §1.2 of the DDSketch paper: randomized rank sketches have high
+	// relative error on heavy tails, in practice worse than deterministic
+	// ones. Document it.
+	rng := rand.New(rand.NewSource(3))
+	s := mustSketch(t, 200)
+	values := make([]float64, 200000)
+	for i := range values {
+		values[i] = math.Pow(1-rng.Float64(), -2)
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	got, err := s.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("KLL p99 relative error on heavy tail: %g",
+		exact.RelativeError(got, exact.Quantile(values, 0.99)))
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	s := mustSketch(t, 200)
+	for i := 0; i < 1000000; i++ {
+		_ = s.Add(float64(i))
+	}
+	if got := s.NumRetained(); got > 3*200+64 {
+		t.Errorf("NumRetained = %d, want O(k)", got)
+	}
+	if s.SizeBytes() > 64*1024 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+}
+
+func TestCountConservation(t *testing.T) {
+	s := mustSketch(t, 64)
+	for i := 0; i < 54321; i++ {
+		_ = s.Add(float64(i % 97))
+	}
+	if got := s.Count(); got != 54321 {
+		t.Errorf("Count = %g", got)
+	}
+	// The weighted item total must equal the count as well.
+	v, w := s.items()
+	total := 0.0
+	for _, weight := range w {
+		total += weight
+	}
+	_ = v
+	if total != 54321 {
+		t.Errorf("weighted item total = %g, want 54321", total)
+	}
+}
+
+func TestFullMergeability(t *testing.T) {
+	// Unlike GK, KLL is fully mergeable: an arbitrary merge tree keeps
+	// rank accuracy. Build 16 shards and merge pairwise in a tree.
+	rng := rand.New(rand.NewSource(4))
+	var all []float64
+	shards := make([]*Sketch, 16)
+	for i := range shards {
+		shards[i] = mustSketch(t, 200)
+		for j := 0; j < 10000; j++ {
+			v := rng.NormFloat64() * 100
+			_ = shards[i].Add(v)
+			all = append(all, v)
+		}
+	}
+	for len(shards) > 1 {
+		var next []*Sketch
+		for i := 0; i+1 < len(shards); i += 2 {
+			if err := shards[i].MergeWith(shards[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, shards[i])
+		}
+		shards = next
+	}
+	merged := shards[0]
+	if merged.Count() != float64(len(all)) {
+		t.Fatalf("merged count = %g, want %d", merged.Count(), len(all))
+	}
+	sort.Float64s(all)
+	checkRankAccuracy(t, merged, all, 0.04)
+}
+
+func TestMergeValidation(t *testing.T) {
+	a := mustSketch(t, 64)
+	b := mustSketch(t, 128)
+	if err := a.MergeWith(b); err == nil {
+		t.Error("merging different k: want error")
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := mustSketch(t, 64)
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 100000; i++ {
+		v := rng.NormFloat64()
+		_ = s.Add(v)
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if v, _ := s.Quantile(0); v != min {
+		t.Errorf("Quantile(0) = %g, want %g", v, min)
+	}
+	if v, _ := s.Quantile(1); v != max {
+		t.Errorf("Quantile(1) = %g, want %g", v, max)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	build := func() *Sketch {
+		s, _ := New(64, 99)
+		for i := 0; i < 50000; i++ {
+			_ = s.Add(float64(i * 31 % 1009))
+		}
+		return s
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x, _ := a.Quantile(q)
+		y, _ := b.Quantile(q)
+		if x != y {
+			t.Errorf("same seed diverged at q=%g: %g vs %g", q, x, y)
+		}
+	}
+}
+
+func TestQuickEstimatesWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := New(32, uint64(seed))
+		min, max := math.Inf(1), math.Inf(-1)
+		n := 10 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 1000
+			_ = s.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		for _, q := range []float64{0, 0.3, 0.6, 1} {
+			v, err := s.Quantile(q)
+			if err != nil || v < min || v > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	s := mustSketch(t, 64)
+	_ = s.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s := mustSketch(t, 64)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,357 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func mustSketch(t *testing.T, k int, compress bool) *Sketch {
+	t.Helper()
+	s, err := New(k, compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 26, -5} {
+		if _, err := New(k, false); err == nil {
+			t.Errorf("New(%d): want error", k)
+		}
+	}
+	if _, err := New(20, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := mustSketch(t, 10, false)
+	if !s.IsEmpty() || s.Count() != 0 {
+		t.Error("new sketch not empty")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty: want error")
+	}
+	if _, err := s.Min(); err == nil {
+		t.Error("Min on empty: want error")
+	}
+	if _, err := s.Max(); err == nil {
+		t.Error("Max on empty: want error")
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	s := mustSketch(t, 10, false)
+	s.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		s := mustSketch(t, 10, compress)
+		s.Add(42)
+		for _, q := range []float64{0, 0.5, 1} {
+			got, err := s.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-42) > 1e-9 {
+				t.Errorf("compress=%t: Quantile(%g) = %g, want 42", compress, q, got)
+			}
+		}
+	}
+}
+
+func TestCountMinMax(t *testing.T) {
+	s := mustSketch(t, 12, true)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %g", s.Count())
+	}
+	if min, _ := s.Min(); math.Abs(min-1) > 1e-9 {
+		t.Errorf("Min = %g", min)
+	}
+	if max, _ := s.Max(); math.Abs(max-100)/100 > 1e-9 {
+		t.Errorf("Max = %g", max)
+	}
+}
+
+// checkAvgRankError asserts the Moments guarantee regime: *average* rank
+// error across quantiles below a threshold. Individual quantiles may be
+// worse — that is the paper's point.
+func checkAvgRankError(t *testing.T, s *Sketch, values []float64, threshold float64) {
+	t.Helper()
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	qs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	total := 0.0
+	for _, q := range qs {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += exact.RankError(sorted, got, q)
+	}
+	if avg := total / float64(len(qs)); avg > threshold {
+		t.Errorf("average rank error %g > %g", avg, threshold)
+	}
+}
+
+func TestUniformData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := mustSketch(t, 15, false)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+		s.Add(values[i])
+	}
+	checkAvgRankError(t, s, values, 0.02)
+}
+
+func TestGaussianData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := mustSketch(t, 15, false)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = rng.NormFloat64()*10 + 100
+		s.Add(values[i])
+	}
+	checkAvgRankError(t, s, values, 0.02)
+}
+
+func TestLogNormalWithCompression(t *testing.T) {
+	// Heavy-tailed data: without the arcsinh transform the moments are
+	// dominated by the tail; with it, the sketch stays usable (the
+	// configuration of the paper's Table 2).
+	rng := rand.New(rand.NewSource(3))
+	s := mustSketch(t, 18, true)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = math.Exp(rng.NormFloat64() * 2)
+		s.Add(values[i])
+	}
+	checkAvgRankError(t, s, values, 0.05)
+}
+
+func TestRelativeErrorPoorOnHeavyTails(t *testing.T) {
+	// Documents the failure mode the paper reports in Figure 10: high
+	// quantiles of Pareto data have large relative error even with
+	// compression.
+	rng := rand.New(rand.NewSource(4))
+	s := mustSketch(t, 20, true)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = 1 / (1 - rng.Float64())
+		s.Add(values[i])
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	got, err := s.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := exact.RelativeError(got, exact.Quantile(sorted, 0.99))
+	t.Logf("p99 relative error on pareto: %g", relErr)
+}
+
+func TestMergeMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := mustSketch(t, 12, false)
+	b := mustSketch(t, 12, false)
+	union := mustSketch(t, 12, false)
+	for i := 0; i < 5000; i++ {
+		va := rng.Float64() * 50
+		vb := rng.Float64()*50 + 25
+		a.Add(va)
+		b.Add(vb)
+		union.Add(va)
+		union.Add(vb)
+	}
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != union.Count() {
+		t.Fatalf("merged count %g, union %g", a.Count(), union.Count())
+	}
+	// Full mergeability: identical state ⇒ identical estimates.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		ma, _ := a.Quantile(q)
+		mu, _ := union.Quantile(q)
+		if math.Abs(ma-mu) > 1e-6*(1+math.Abs(mu)) {
+			t.Errorf("q=%g: merged %g, union %g", q, ma, mu)
+		}
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := mustSketch(t, 10, false)
+	b := mustSketch(t, 12, false)
+	if err := a.MergeWith(b); err == nil {
+		t.Error("merge different k: want error")
+	}
+	c := mustSketch(t, 10, true)
+	if err := a.MergeWith(c); err == nil {
+		t.Error("merge different compression: want error")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	s := mustSketch(t, 10, false)
+	s.Add(1)
+	s.Add(2)
+	cp := s.Copy()
+	s.Add(1000)
+	if cp.Count() != 2 {
+		t.Errorf("copy count = %g", cp.Count())
+	}
+	if max, _ := cp.Max(); max == 1000 {
+		t.Error("copy shares state")
+	}
+}
+
+func TestSizeIndependentOfN(t *testing.T) {
+	s := mustSketch(t, 20, true)
+	before := s.SizeBytes()
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i))
+	}
+	if after := s.SizeBytes(); after != before {
+		t.Errorf("SizeBytes changed: %d -> %d", before, after)
+	}
+	// ~20 doubles: the smallest sketch in Figure 6 by far.
+	if before > 512 {
+		t.Errorf("SizeBytes = %d, want tiny", before)
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := mustSketch(t, 15, false)
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64() * 10)
+	}
+	qs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	got, err := s.Quantiles(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("quantiles not monotone: %v", got)
+		}
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := mustSketch(t, 12, true)
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 100
+		s.Add(values[i])
+	}
+	checkAvgRankError(t, s, values, 0.03)
+}
+
+func TestQuantileEstimatesWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := mustSketch(t, 20, true)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.NormFloat64() * 3)
+		s.Add(v)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < lo-1e-9 || got > hi*(1+1e-9) {
+			t.Errorf("Quantile(%g) = %g outside data range [%g, %g]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestSolverCacheInvalidation(t *testing.T) {
+	s := mustSketch(t, 10, false)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	before, _ := s.Quantile(0.5)
+	// Shift the distribution drastically; the cached solution must not be
+	// reused.
+	for i := 0; i < 9000; i++ {
+		s.Add(100000)
+	}
+	after, _ := s.Quantile(0.5)
+	if math.Abs(after-before) < 1 {
+		t.Errorf("solver cache not invalidated: %g -> %g", before, after)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// 2x2 SPD system: [[4,2],[2,3]]·x = [8, 7] → x = [1, 2]... solve:
+	// 4x+2y=8, 2x+3y=7 → x=1.25, y=1.5
+	a := []float64{4, 2, 2, 3}
+	b := []float64{8, 7}
+	x := make([]float64, 2)
+	if !choleskySolve(a, b, x, 2) {
+		t.Fatal("cholesky failed on SPD matrix")
+	}
+	if math.Abs(x[0]-1.25) > 1e-9 || math.Abs(x[1]-1.5) > 1e-9 {
+		t.Errorf("solution = %v, want [1.25, 1.5]", x)
+	}
+	// Non-PD matrix must report failure.
+	bad := []float64{1, 2, 2, 1}
+	if choleskySolve(bad, b, x, 2) {
+		t.Error("cholesky succeeded on indefinite matrix")
+	}
+}
+
+func TestChebyshevMomentsOfUniform(t *testing.T) {
+	// For the uniform distribution on [0, 1]: E[T_1(z)] with z = 2x−1 is
+	// 0, E[T_2] = E[2z²−1] = 2/3−1 = −1/3.
+	const n = 1000000
+	sums := make([]float64, 5)
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) / n
+		p := 1.0
+		for j := range sums {
+			sums[j] += p
+			p *= x
+		}
+	}
+	m := chebyshevMomentsFromPowerSums(sums, 0, 1)
+	if math.Abs(m[1]-0) > 1e-6 {
+		t.Errorf("E[T1] = %g, want 0", m[1])
+	}
+	if math.Abs(m[2]-(-1.0/3.0)) > 1e-6 {
+		t.Errorf("E[T2] = %g, want -1/3", m[2])
+	}
+	if math.Abs(m[3]-0) > 1e-6 {
+		t.Errorf("E[T3] = %g, want 0", m[3])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := mustSketch(t, 14, true)
+	if s.K() != 14 || !s.Compressed() {
+		t.Error("accessors disagree with configuration")
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

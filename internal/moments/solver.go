@@ -1,0 +1,351 @@
+package moments
+
+import "math"
+
+// This file implements the maximum-entropy quantile solver: given power
+// sums of values in [min, max], find the density f maximizing entropy
+// subject to matching the observed moments, then answer quantile queries
+// from f's CDF. Following Gan et al., the problem is solved in the
+// Chebyshev basis on the rescaled domain [−1, 1], where the maximum-
+// entropy density has the form f(z) = exp(Σ_j λ_j T_j(z)) and λ is found
+// by Newton's method on a strictly convex potential.
+
+const (
+	gridSize       = 1024 // quadrature points on [−1, 1]
+	maxNewtonIters = 200
+	gradTolerance  = 1e-10
+)
+
+// quantileFunction is a solved CDF on a grid, ready to answer queries.
+type quantileFunction struct {
+	grid []float64 // z values in [−1, 1]
+	cdf  []float64 // normalized cumulative density at grid points
+	min  float64   // transformed-domain extrema for rescaling
+	max  float64
+}
+
+// quantile returns the transformed-domain value at quantile q.
+func (qf *quantileFunction) quantile(q float64) float64 {
+	cdf := qf.cdf
+	n := len(cdf)
+	// Binary search for the first grid point with cdf ≥ q.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	z := qf.grid[lo]
+	if lo > 0 && cdf[lo] > cdf[lo-1] {
+		// Linear interpolation within the cell.
+		frac := (q - cdf[lo-1]) / (cdf[lo] - cdf[lo-1])
+		z = qf.grid[lo-1] + frac*(qf.grid[lo]-qf.grid[lo-1])
+	}
+	// Map z ∈ [−1, 1] back to [min, max].
+	return (z*(qf.max-qf.min) + (qf.max + qf.min)) / 2
+}
+
+// solveMaxEntropy computes the maximum-entropy quantile function for the
+// given power sums over [min, max]. It never fails: if the Newton solve
+// cannot converge (inconsistent moments from floating-point cancellation,
+// degenerate data), it falls back to progressively fewer moments and
+// ultimately to the uniform density on [min, max].
+func solveMaxEntropy(sums []float64, min, max float64) *quantileFunction {
+	chebMoments := chebyshevMomentsFromPowerSums(sums, min, max)
+	// Chebyshev moments of any probability density on [−1, 1] lie in
+	// [−1, 1]; moments outside that range (with slack for rounding) are
+	// casualties of floating-point cancellation and must be dropped.
+	usable := len(chebMoments)
+	for j := 1; j < len(chebMoments); j++ {
+		if math.IsNaN(chebMoments[j]) || math.Abs(chebMoments[j]) > 1+1e-6 {
+			usable = j
+			break
+		}
+	}
+	for k := usable; k >= 2; k = k / 2 {
+		if qf, ok := newtonSolve(chebMoments[:k], min, max); ok {
+			return qf
+		}
+	}
+	return uniformFallback(min, max)
+}
+
+// chebyshevMomentsFromPowerSums converts raw power sums over [min, max]
+// to Chebyshev moments E[T_j(z)] of the rescaled variable
+// z = (2x − (max+min))/(max − min) ∈ [−1, 1].
+func chebyshevMomentsFromPowerSums(sums []float64, min, max float64) []float64 {
+	k := len(sums)
+	n := sums[0]
+	// Raw power moments E[x^p].
+	powerMoments := make([]float64, k)
+	for p := 0; p < k; p++ {
+		powerMoments[p] = sums[p] / n
+	}
+	// Scaled power moments E[z^p] with z = a·x + b via binomial expansion.
+	a := 2 / (max - min)
+	b := -(max + min) / (max - min)
+	scaled := make([]float64, k)
+	for p := 0; p < k; p++ {
+		// E[(a x + b)^p] = Σ_j C(p, j) a^j b^(p−j) E[x^j]
+		sum := 0.0
+		binom := 1.0 // C(p, j) built incrementally
+		for j := 0; j <= p; j++ {
+			// math.Pow(0, 0) is 1, so b = 0 needs no special casing.
+			sum += binom * math.Pow(a, float64(j)) * math.Pow(b, float64(p-j)) * powerMoments[j]
+			binom = binom * float64(p-j) / float64(j+1)
+		}
+		scaled[p] = sum
+	}
+	// Chebyshev moments from scaled power moments via the monomial
+	// coefficients of T_j, built with T_{j+1} = 2z·T_j − T_{j−1}.
+	cheb := make([]float64, k)
+	prev := []float64{1}   // T_0 coefficients
+	cur := []float64{0, 1} // T_1 coefficients
+	cheb[0] = 1
+	if k > 1 {
+		cheb[1] = scaled[1]
+	}
+	for j := 2; j < k; j++ {
+		next := make([]float64, j+1)
+		for i, c := range cur {
+			next[i+1] += 2 * c
+		}
+		for i, c := range prev {
+			next[i] -= c
+		}
+		m := 0.0
+		for p, c := range next {
+			m += c * scaled[p]
+		}
+		cheb[j] = m
+		prev, cur = cur, next
+	}
+	return cheb
+}
+
+// newtonSolve runs damped Newton iterations to find λ with
+// ∫T_j·exp(Σλ·T) = m_j. It reports ok=false if the iteration fails to
+// converge or produces non-finite values.
+func newtonSolve(moments []float64, min, max float64) (*quantileFunction, bool) {
+	k := len(moments)
+	grid, weights := quadratureGrid()
+	// Chebyshev values on the grid up to order 2k−2 (the Hessian needs
+	// moments of the current density up to that order).
+	cheb := chebyshevOnGrid(grid, 2*k-1)
+
+	lambda := make([]float64, k)
+	// Initialize with the uniform density over [−1, 1]: f = 1/2.
+	lambda[0] = math.Log(0.5)
+
+	density := make([]float64, len(grid))
+	densityMoments := make([]float64, 2*k-1)
+	grad := make([]float64, k)
+	hess := make([]float64, k*k)
+	step := make([]float64, k)
+
+	potential := func(l []float64) float64 {
+		p := 0.0
+		for i := range grid {
+			e := 0.0
+			for j := 0; j < k; j++ {
+				e += l[j] * cheb[j][i]
+			}
+			p += weights[i] * math.Exp(e)
+		}
+		for j := 0; j < k; j++ {
+			p -= l[j] * moments[j]
+		}
+		return p
+	}
+
+	current := potential(lambda)
+	for iter := 0; iter < maxNewtonIters; iter++ {
+		// Density and its Chebyshev moments under the current λ.
+		for i := range grid {
+			e := 0.0
+			for j := 0; j < k; j++ {
+				e += lambda[j] * cheb[j][i]
+			}
+			density[i] = math.Exp(e)
+		}
+		for m := range densityMoments {
+			sum := 0.0
+			for i := range grid {
+				sum += weights[i] * density[i] * cheb[m][i]
+			}
+			densityMoments[m] = sum
+		}
+		gradNorm := 0.0
+		for j := 0; j < k; j++ {
+			grad[j] = densityMoments[j] - moments[j]
+			gradNorm += grad[j] * grad[j]
+		}
+		if !isFinite(gradNorm) {
+			return nil, false
+		}
+		if gradNorm < gradTolerance*gradTolerance {
+			break
+		}
+		// Hessian via the product identity T_i·T_j = (T_{i+j}+T_{|i−j|})/2.
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				d := i - j
+				if d < 0 {
+					d = -d
+				}
+				hess[i*k+j] = (densityMoments[i+j] + densityMoments[d]) / 2
+			}
+		}
+		if !choleskySolve(hess, grad, step, k) {
+			return nil, false
+		}
+		// Backtracking line search on the convex potential.
+		stepScale := 1.0
+		improved := false
+		for ls := 0; ls < 40; ls++ {
+			trial := make([]float64, k)
+			for j := 0; j < k; j++ {
+				trial[j] = lambda[j] - stepScale*step[j]
+			}
+			trialPotential := potential(trial)
+			if isFinite(trialPotential) && trialPotential < current {
+				copy(lambda, trial)
+				current = trialPotential
+				improved = true
+				break
+			}
+			stepScale /= 2
+		}
+		if !improved {
+			// Stuck: accept the current λ if the gradient is small enough
+			// to be useful, otherwise fail over.
+			if gradNorm < 1e-6 {
+				break
+			}
+			return nil, false
+		}
+	}
+	// Final density and CDF.
+	for i := range grid {
+		e := 0.0
+		for j := 0; j < k; j++ {
+			e += lambda[j] * cheb[j][i]
+		}
+		density[i] = math.Exp(e)
+		if !isFinite(density[i]) {
+			return nil, false
+		}
+	}
+	cdf := make([]float64, len(grid))
+	running := 0.0
+	for i := 1; i < len(grid); i++ {
+		running += (density[i-1] + density[i]) / 2 * (grid[i] - grid[i-1])
+		cdf[i] = running
+	}
+	if running <= 0 || !isFinite(running) {
+		return nil, false
+	}
+	for i := range cdf {
+		cdf[i] /= running
+	}
+	return &quantileFunction{grid: grid, cdf: cdf, min: min, max: max}, true
+}
+
+// uniformFallback returns the quantile function of the uniform density,
+// the maximum-entropy density when no usable moments survive.
+func uniformFallback(min, max float64) *quantileFunction {
+	grid, _ := quadratureGrid()
+	cdf := make([]float64, len(grid))
+	for i := range grid {
+		cdf[i] = (grid[i] + 1) / 2
+	}
+	return &quantileFunction{grid: grid, cdf: cdf, min: min, max: max}
+}
+
+// quadratureGrid returns uniform points on [−1, 1] with trapezoid
+// weights.
+func quadratureGrid() ([]float64, []float64) {
+	grid := make([]float64, gridSize)
+	weights := make([]float64, gridSize)
+	h := 2.0 / float64(gridSize-1)
+	for i := range grid {
+		grid[i] = -1 + float64(i)*h
+		weights[i] = h
+	}
+	weights[0] = h / 2
+	weights[gridSize-1] = h / 2
+	return grid, weights
+}
+
+// chebyshevOnGrid evaluates T_0..T_{orders−1} at each grid point using
+// the three-term recurrence.
+func chebyshevOnGrid(grid []float64, orders int) [][]float64 {
+	cheb := make([][]float64, orders)
+	for j := range cheb {
+		cheb[j] = make([]float64, len(grid))
+	}
+	for i, z := range grid {
+		cheb[0][i] = 1
+		if orders > 1 {
+			cheb[1][i] = z
+		}
+		for j := 2; j < orders; j++ {
+			cheb[j][i] = 2*z*cheb[j-1][i] - cheb[j-2][i]
+		}
+	}
+	return cheb
+}
+
+// choleskySolve solves (A + ridge·I)·x = b for symmetric positive
+// definite A (row-major k×k), reporting false if the factorization
+// breaks down.
+func choleskySolve(a, b, x []float64, k int) bool {
+	// Work on a copy with a small ridge for numerical safety.
+	l := make([]float64, k*k)
+	copy(l, a)
+	ridge := 1e-12
+	for i := 0; i < k; i++ {
+		l[i*k+i] += ridge
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			sum := l[i*k+j]
+			for p := 0; p < j; p++ {
+				sum -= l[i*k+p] * l[j*k+p]
+			}
+			if i == j {
+				if sum <= 0 || !isFinite(sum) {
+					return false
+				}
+				l[i*k+i] = math.Sqrt(sum)
+			} else {
+				l[i*k+j] = sum / l[j*k+j]
+			}
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		sum := b[i]
+		for p := 0; p < i; p++ {
+			sum -= l[i*k+p] * y[p]
+		}
+		y[i] = sum / l[i*k+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	for i := k - 1; i >= 0; i-- {
+		sum := y[i]
+		for p := i + 1; p < k; p++ {
+			sum -= l[p*k+i] * x[p]
+		}
+		x[i] = sum / l[i*k+i]
+	}
+	return true
+}
+
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

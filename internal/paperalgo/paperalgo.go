@@ -1,0 +1,194 @@
+// Package paperalgo is a literal, line-by-line executable transcription
+// of the pseudocode in §2.1 of the DDSketch paper: Insert (Algorithm 1),
+// Quantile (Algorithm 2), DDSketch-Insert with the bucket-count limit
+// (Algorithm 3), and DDSketch-Merge (Algorithm 4), over a plain
+// map-of-buckets representation.
+//
+// It exists as an oracle: the production implementation in the root
+// package (with its dense stores, two-sided support, and interpolated
+// mappings) is cross-validated against this package, and the paper's
+// propositions are tested here in their original, unoptimized form. It
+// handles exactly what the paper's pseudocode handles: positive values.
+package paperalgo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the sketch.
+var (
+	// ErrEmptySketch is returned by quantile queries on an empty sketch.
+	ErrEmptySketch = errors.New("paperalgo: empty sketch")
+	// ErrInvalidArgument is returned for out-of-domain parameters.
+	ErrInvalidArgument = errors.New("paperalgo: invalid argument")
+)
+
+// Sketch is the paper's DDSketch: buckets B_i indexed by i ∈ ℤ, each
+// counting the values x with γ^(i−1) < x ≤ γ^i.
+type Sketch struct {
+	alpha float64
+	gamma float64
+	m     int // bucket limit; 0 means the unbounded basic version (§2.1)
+	bins  map[int]float64
+	count float64
+}
+
+// New returns the basic (unbounded) sketch of §2.1 with accuracy α.
+func New(alpha float64) (*Sketch, error) {
+	return NewWithLimit(alpha, 0)
+}
+
+// NewWithLimit returns the full DDSketch of Algorithm 3: at most m
+// non-empty buckets, collapsing the two lowest when exceeded. m = 0
+// disables the limit.
+func NewWithLimit(alpha float64, m int) (*Sketch, error) {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("%w: alpha %v", ErrInvalidArgument, alpha)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("%w: m %d", ErrInvalidArgument, m)
+	}
+	return &Sketch{
+		alpha: alpha,
+		gamma: (1 + alpha) / (1 - alpha),
+		m:     m,
+		bins:  make(map[int]float64),
+	}, nil
+}
+
+// Alpha returns the accuracy parameter α.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// Gamma returns γ = (1+α)/(1−α).
+func (s *Sketch) Gamma() float64 { return s.gamma }
+
+// Count returns the number of inserted values.
+func (s *Sketch) Count() float64 { return s.count }
+
+// NumBins returns the number of non-empty buckets.
+func (s *Sketch) NumBins() int { return len(s.bins) }
+
+// index computes i ← ⌈log_γ(x)⌉, the bucket assignment of Algorithm 1.
+func (s *Sketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / math.Log(s.gamma)))
+}
+
+// Insert implements Algorithm 1 (and the collapsing step of
+// Algorithm 3 when a bucket limit is configured): B_i ← B_i + 1.
+func (s *Sketch) Insert(x float64) error {
+	if !(x > 0) || math.IsInf(x, 1) {
+		return fmt.Errorf("%w: the paper's pseudocode inserts x ∈ R>0, got %v", ErrInvalidArgument, x)
+	}
+	i := s.index(x)
+	s.bins[i]++
+	s.count++
+	if s.m > 0 && len(s.bins) > s.m {
+		s.collapseLowest()
+	}
+	return nil
+}
+
+// Delete removes one previously inserted occurrence of x ("Deletion
+// works similarly", §2.1).
+func (s *Sketch) Delete(x float64) error {
+	if !(x > 0) || math.IsInf(x, 1) {
+		return fmt.Errorf("%w: got %v", ErrInvalidArgument, x)
+	}
+	i := s.index(x)
+	if s.bins[i] <= 0 {
+		return fmt.Errorf("%w: no occurrence of %v recorded", ErrInvalidArgument, x)
+	}
+	s.bins[i]--
+	if s.bins[i] == 0 {
+		delete(s.bins, i)
+	}
+	s.count--
+	return nil
+}
+
+// collapseLowest folds the lowest non-empty bucket into the second
+// lowest: i0 ← min{j : B_j > 0}; i1 ← min{j : B_j > 0 ∧ j > i0};
+// B_i1 ← B_i1 + B_i0; B_i0 ← 0 (Algorithm 3).
+func (s *Sketch) collapseLowest() {
+	i0, i1 := math.MaxInt, math.MaxInt
+	for j := range s.bins {
+		if j < i0 {
+			i0, i1 = j, i0
+		} else if j < i1 {
+			i1 = j
+		}
+	}
+	if i1 == math.MaxInt {
+		return // fewer than two buckets: nothing to collapse
+	}
+	s.bins[i1] += s.bins[i0]
+	delete(s.bins, i0)
+}
+
+// Quantile implements Algorithm 2: sum buckets in index order until the
+// cumulative count exceeds q(n−1), then return 2γ^i/(γ+1).
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: quantile %v", ErrInvalidArgument, q)
+	}
+	if s.count == 0 {
+		return 0, ErrEmptySketch
+	}
+	indexes := s.sortedIndexes()
+	i := indexes[0]
+	count := s.bins[i]
+	pos := 0
+	for count <= q*(s.count-1) && pos+1 < len(indexes) {
+		pos++
+		i = indexes[pos]
+		count += s.bins[i]
+	}
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1), nil
+}
+
+// MergeWith implements Algorithm 4: add the other sketch's buckets
+// index-wise, then collapse the lowest buckets until the limit holds.
+func (s *Sketch) MergeWith(other *Sketch) error {
+	if math.Abs(other.gamma-s.gamma) > 1e-12*s.gamma {
+		return fmt.Errorf("%w: merging sketches with γ %v and %v", ErrInvalidArgument, s.gamma, other.gamma)
+	}
+	for i, c := range other.bins {
+		s.bins[i] += c
+	}
+	s.count += other.count
+	if s.m > 0 {
+		for len(s.bins) > s.m {
+			s.collapseLowest()
+		}
+	}
+	return nil
+}
+
+// Bins returns the bucket contents as an index→count map copy, for
+// cross-validation against other implementations.
+func (s *Sketch) Bins() map[int]float64 {
+	out := make(map[int]float64, len(s.bins))
+	for i, c := range s.bins {
+		out[i] = c
+	}
+	return out
+}
+
+// sortedIndexes returns the non-empty bucket indexes in ascending order.
+func (s *Sketch) sortedIndexes() []int {
+	indexes := make([]int, 0, len(s.bins))
+	for i := range s.bins {
+		indexes = append(indexes, i)
+	}
+	sort.Ints(indexes)
+	return indexes
+}
+
+// String implements fmt.Stringer.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("paperalgo.Sketch(alpha=%g, m=%d, bins=%d, count=%g)",
+		s.alpha, s.m, len(s.bins), s.count)
+}

@@ -1,0 +1,279 @@
+package paperalgo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func mustSketch(t *testing.T, alpha float64, m int) *Sketch {
+	t.Helper()
+	s, err := NewWithLimit(alpha, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, err := New(alpha); err == nil {
+			t.Errorf("New(%g): want error", alpha)
+		}
+	}
+	if _, err := NewWithLimit(0.01, -1); err == nil {
+		t.Error("NewWithLimit(m=-1): want error")
+	}
+}
+
+func TestInsertDomain(t *testing.T) {
+	s := mustSketch(t, 0.01, 0)
+	for _, x := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := s.Insert(x); err == nil {
+			t.Errorf("Insert(%g): want error (pseudocode domain is R>0)", x)
+		}
+	}
+	if s.Count() != 0 {
+		t.Error("failed inserts changed the count")
+	}
+}
+
+// TestLemma2 checks the paper's Lemma 2 directly: for any x, the bucket
+// representative 2γ^i/(γ+1) with i = ⌈log_γ x⌉ is α-accurate.
+func TestLemma2(t *testing.T) {
+	for _, alpha := range []float64{0.2, 0.05, 0.01, 0.001} {
+		s := mustSketch(t, alpha, 0)
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 5000; trial++ {
+			x := math.Exp(rng.Float64()*80 - 40)
+			i := s.index(x)
+			estimate := 2 * math.Pow(s.Gamma(), float64(i)) / (s.Gamma() + 1)
+			if relErr := math.Abs(estimate-x) / x; relErr > alpha*(1+1e-9) {
+				t.Fatalf("alpha=%g: x=%g estimate=%g rel err %g", alpha, x, estimate, relErr)
+			}
+		}
+	}
+}
+
+// TestProposition3 checks the paper's Proposition 3: Quantile(q) returns
+// an α-accurate q-quantile for any q and any (positive) data.
+func TestProposition3(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alpha := 0.01
+	s := mustSketch(t, alpha, 0)
+	values := make([]float64, 20000)
+	for i := range values {
+		values[i] = 1 / (1 - rng.Float64()) // Pareto(1, 1)
+		if err := s.Insert(values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Float64s(values)
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Quantile(values, q)
+		if relErr := math.Abs(got-want) / want; relErr > alpha*(1+1e-9) {
+			t.Errorf("q=%g: got %g, want %g (rel err %g)", q, got, want, relErr)
+		}
+	}
+}
+
+// TestProposition4 checks the collapsing guarantee: any quantile with
+// x1 ≤ xq·γ^(m−1) stays α-accurate after collapses.
+func TestProposition4(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alpha := 0.01
+	const m = 128
+	s := mustSketch(t, alpha, m)
+	values := make([]float64, 30000)
+	for i := range values {
+		values[i] = math.Exp(rng.Float64()*14 - 7) // ~6 decades: forces collapses
+		if err := s.Insert(values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumBins() > m {
+		t.Fatalf("bucket limit violated: %d > %d", s.NumBins(), m)
+	}
+	sort.Float64s(values)
+	x1 := values[len(values)-1]
+	gammaPow := math.Pow(s.Gamma(), m-1)
+	checked := 0
+	for _, q := range []float64{0.5, 0.75, 0.9, 0.99, 1} {
+		xq := exact.Quantile(values, q)
+		if x1 > xq*gammaPow {
+			continue // precondition of Proposition 4 not met
+		}
+		checked++
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr := math.Abs(got-xq) / xq; relErr > alpha*(1+1e-9) {
+			t.Errorf("q=%g: rel err %g after collapsing (Proposition 4)", q, relErr)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no quantile satisfied the Proposition 4 precondition; test is vacuous")
+	}
+}
+
+func TestCollapsePreservesCount(t *testing.T) {
+	s := mustSketch(t, 0.01, 4)
+	for i := 0; i < 1000; i++ {
+		if err := s.Insert(math.Pow(2, float64(i%40+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != 1000 {
+		t.Errorf("Count = %g", s.Count())
+	}
+	if s.NumBins() > 4 {
+		t.Errorf("NumBins = %d > m = 4", s.NumBins())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := mustSketch(t, 0.01, 0)
+	_ = s.Insert(5)
+	_ = s.Insert(7)
+	if err := s.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("Count = %g", s.Count())
+	}
+	if err := s.Delete(5); err == nil {
+		t.Error("deleting an absent value: want error")
+	}
+	v, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-7)/7 > 0.01 {
+		t.Errorf("Quantile after delete = %g, want ≈7", v)
+	}
+}
+
+// TestAlgorithm4Merge checks full mergeability in its original form:
+// merging equals inserting the union, bucket for bucket.
+func TestAlgorithm4Merge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := mustSketch(t, 0.01, 0)
+	b := mustSketch(t, 0.01, 0)
+	union := mustSketch(t, 0.01, 0)
+	for i := 0; i < 5000; i++ {
+		va := math.Exp(rng.NormFloat64() * 3)
+		vb := math.Exp(rng.NormFloat64() * 3)
+		_ = a.Insert(va)
+		_ = b.Insert(vb)
+		_ = union.Insert(va)
+		_ = union.Insert(vb)
+	}
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	gotBins, wantBins := a.Bins(), union.Bins()
+	if len(gotBins) != len(wantBins) {
+		t.Fatalf("merged bins %d, union bins %d", len(gotBins), len(wantBins))
+	}
+	for i, c := range wantBins {
+		if gotBins[i] != c {
+			t.Fatalf("bucket %d: merged %g, union %g", i, gotBins[i], c)
+		}
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		x, _ := a.Quantile(q)
+		y, _ := union.Quantile(q)
+		if x != y {
+			t.Errorf("q=%g: merged %g, union %g", q, x, y)
+		}
+	}
+}
+
+func TestMergeRespectsLimit(t *testing.T) {
+	a := mustSketch(t, 0.01, 8)
+	b := mustSketch(t, 0.01, 8)
+	for i := 1; i <= 30; i++ {
+		_ = a.Insert(math.Pow(2, float64(i)))
+		_ = b.Insert(math.Pow(3, float64(i)))
+	}
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBins() > 8 {
+		t.Errorf("NumBins after merge = %d > 8", a.NumBins())
+	}
+	if a.Count() != 60 {
+		t.Errorf("Count after merge = %g", a.Count())
+	}
+}
+
+func TestMergeIncompatibleGamma(t *testing.T) {
+	a := mustSketch(t, 0.01, 0)
+	b := mustSketch(t, 0.02, 0)
+	if err := a.MergeWith(b); err == nil {
+		t.Error("merging different γ: want error")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	s := mustSketch(t, 0.01, 0)
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty sketch: want error")
+	}
+	_ = s.Insert(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestQuickProposition3(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.005 + rng.Float64()*0.15
+		s, err := New(alpha)
+		if err != nil {
+			return false
+		}
+		n := 20 + rng.Intn(300)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = math.Exp(rng.NormFloat64() * 5)
+			if err := s.Insert(values[i]); err != nil {
+				return false
+			}
+		}
+		sort.Float64s(values)
+		for _, q := range []float64{0, 0.5, 0.9, 1} {
+			got, err := s.Quantile(q)
+			if err != nil {
+				return false
+			}
+			want := exact.Quantile(values, q)
+			if math.Abs(got-want)/want > alpha*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s := mustSketch(t, 0.01, 16)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

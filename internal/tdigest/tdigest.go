@@ -1,0 +1,257 @@
+// Package tdigest implements the merging t-digest of Dunning and Ertl,
+// discussed in §1.2 of the DDSketch paper (reference [17]) as the
+// biased-rank-error sketch used by Elasticsearch.
+//
+// A t-digest clusters values into centroids whose maximum weight shrinks
+// toward the extreme quantiles (the k-scale function), giving much
+// better *rank* accuracy at p99.9 than uniform-rank sketches. As the
+// paper notes, it still offers no relative-error guarantee — on
+// heavy-tailed data the interpolated value at a high quantile can be far
+// from the true one — and, like GK, it is only one-way mergeable: merges
+// re-cluster and lose resolution. This package exists to let the
+// evaluation harness demonstrate both properties next to DDSketch.
+package tdigest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the sketch.
+var (
+	// ErrEmptySketch is returned by queries on a sketch with no values.
+	ErrEmptySketch = errors.New("tdigest: empty sketch")
+	// ErrInvalidArgument is returned for out-of-domain parameters.
+	ErrInvalidArgument = errors.New("tdigest: invalid argument")
+)
+
+type centroid struct {
+	mean   float64
+	weight float64
+}
+
+// Sketch is a merging t-digest with the given compression δ: it keeps
+// O(δ) centroids, with centroid weights bounded by the k₁ scale
+// function k(q) = (δ/2π)·asin(2q−1).
+type Sketch struct {
+	compression  float64
+	processed    []centroid // sorted by mean, k-scale invariant holds
+	unprocessed  []centroid
+	procWeight   float64
+	unprocWeight float64
+	min, max     float64
+}
+
+// New returns a t-digest with the given compression (typical: 100).
+func New(compression float64) (*Sketch, error) {
+	if math.IsNaN(compression) || compression < 10 {
+		return nil, fmt.Errorf("%w: compression %v (must be ≥ 10)", ErrInvalidArgument, compression)
+	}
+	return &Sketch{
+		compression: compression,
+		unprocessed: make([]centroid, 0, bufferLen(compression)),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}, nil
+}
+
+func bufferLen(compression float64) int { return int(8 * compression) }
+
+// Compression returns the δ parameter.
+func (s *Sketch) Compression() float64 { return s.compression }
+
+// Count returns the total inserted weight.
+func (s *Sketch) Count() float64 { return s.procWeight + s.unprocWeight }
+
+// IsEmpty reports whether the sketch holds no values.
+func (s *Sketch) IsEmpty() bool { return s.Count() == 0 }
+
+// Add inserts a value.
+func (s *Sketch) Add(x float64) error { return s.AddWeighted(x, 1) }
+
+// AddWeighted inserts a value with the given positive weight.
+func (s *Sketch) AddWeighted(x, w float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w: value %v", ErrInvalidArgument, x)
+	}
+	if math.IsNaN(w) || w <= 0 {
+		return fmt.Errorf("%w: weight %v", ErrInvalidArgument, w)
+	}
+	s.unprocessed = append(s.unprocessed, centroid{mean: x, weight: w})
+	s.unprocWeight += w
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if len(s.unprocessed) >= bufferLen(s.compression) {
+		s.process()
+	}
+	return nil
+}
+
+// kScale is the k₁ scale function: centroids may grow only while the
+// k-distance they span stays below 1, which squeezes centroid sizes near
+// q = 0 and q = 1.
+func (s *Sketch) kScale(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return s.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// process merges the buffer into the centroid list, re-clustering under
+// the k-scale constraint.
+func (s *Sketch) process() {
+	if len(s.unprocessed) == 0 {
+		return
+	}
+	all := append(s.processed, s.unprocessed...)
+	sort.Slice(all, func(i, j int) bool { return all[i].mean < all[j].mean })
+	total := s.procWeight + s.unprocWeight
+
+	merged := make([]centroid, 0, len(s.processed)+1)
+	cur := all[0]
+	wSoFar := 0.0
+	kLow := s.kScale(0)
+	for _, next := range all[1:] {
+		proposed := (wSoFar + cur.weight + next.weight) / total
+		if s.kScale(proposed)-kLow <= 1 {
+			// Absorb next into cur (weighted mean).
+			cur.mean = (cur.mean*cur.weight + next.mean*next.weight) / (cur.weight + next.weight)
+			cur.weight += next.weight
+			continue
+		}
+		merged = append(merged, cur)
+		wSoFar += cur.weight
+		kLow = s.kScale(wSoFar / total)
+		cur = next
+	}
+	merged = append(merged, cur)
+
+	s.processed = merged
+	s.procWeight = total
+	s.unprocessed = s.unprocessed[:0]
+	s.unprocWeight = 0
+}
+
+// Quantile returns the interpolated value at quantile q.
+func (s *Sketch) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("%w: quantile %v", ErrInvalidArgument, q)
+	}
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	s.process()
+	cs := s.processed
+	total := s.procWeight
+	if len(cs) == 1 {
+		return cs[0].mean, nil
+	}
+	target := q * total
+	// Centroid i's mass is treated as centered at its cumulative
+	// midpoint; interpolate linearly between midpoints, clamping the
+	// ends to the exact extremes.
+	cum := 0.0
+	prevMid := 0.0
+	prevMean := s.min
+	for i, c := range cs {
+		mid := cum + c.weight/2
+		if target < mid {
+			if mid == prevMid {
+				return c.mean, nil
+			}
+			frac := (target - prevMid) / (mid - prevMid)
+			return prevMean + frac*(c.mean-prevMean), nil
+		}
+		cum += c.weight
+		prevMid = mid
+		prevMean = c.mean
+		_ = i
+	}
+	// Between the last midpoint and the maximum.
+	if total == prevMid {
+		return s.max, nil
+	}
+	frac := (target - prevMid) / (total - prevMid)
+	return prevMean + frac*(s.max-prevMean), nil
+}
+
+// Quantiles returns estimates for each of the given quantiles.
+func (s *Sketch) Quantiles(qs []float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := s.Quantile(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Min returns the exact minimum inserted value.
+func (s *Sketch) Min() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.min, nil
+}
+
+// Max returns the exact maximum inserted value.
+func (s *Sketch) Max() (float64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptySketch
+	}
+	return s.max, nil
+}
+
+// MergeWith folds other into s. Like GK, t-digests are only one-way
+// mergeable: the other digest's centroids are re-clustered as weighted
+// points, compounding interpolation error at every merge level.
+func (s *Sketch) MergeWith(other *Sketch) error {
+	if other.IsEmpty() {
+		return nil
+	}
+	other.process()
+	for _, c := range other.processed {
+		s.unprocessed = append(s.unprocessed, c)
+		s.unprocWeight += c.weight
+		if len(s.unprocessed) >= bufferLen(s.compression) {
+			s.process()
+		}
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.process()
+	return nil
+}
+
+// NumCentroids returns the number of centroids currently held.
+func (s *Sketch) NumCentroids() int {
+	s.process()
+	return len(s.processed)
+}
+
+// SizeBytes estimates the in-memory footprint: 16 bytes per centroid
+// plus the insertion buffer and fixed fields.
+func (s *Sketch) SizeBytes() int {
+	return 16*cap(s.processed) + 16*cap(s.unprocessed) + 64
+}
+
+// String implements fmt.Stringer.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("TDigest(compression=%g, centroids=%d, count=%g)",
+		s.compression, len(s.processed), s.Count())
+}

@@ -1,0 +1,291 @@
+package tdigest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func mustSketch(t *testing.T, compression float64) *Sketch {
+	t.Helper()
+	s, err := New(compression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []float64{0, 5, -100, math.NaN()} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%g): want error", c)
+		}
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := mustSketch(t, 100)
+	if !s.IsEmpty() {
+		t.Error("new sketch not empty")
+	}
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty: want error")
+	}
+	if _, err := s.Min(); err == nil {
+		t.Error("Min on empty: want error")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := mustSketch(t, 100)
+	for _, x := range []float64{math.NaN(), math.Inf(1)} {
+		if err := s.Add(x); err == nil {
+			t.Errorf("Add(%g): want error", x)
+		}
+	}
+	for _, w := range []float64{0, -1, math.NaN()} {
+		if err := s.AddWeighted(1, w); err == nil {
+			t.Errorf("AddWeighted(1, %g): want error", w)
+		}
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	s := mustSketch(t, 100)
+	_ = s.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		v, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 42 {
+			t.Errorf("Quantile(%g) = %g", q, v)
+		}
+	}
+}
+
+func TestExtremesAreExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := mustSketch(t, 100)
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 50000; i++ {
+		v := rng.NormFloat64() * 100
+		_ = s.Add(v)
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if v, _ := s.Quantile(0); v != min {
+		t.Errorf("Quantile(0) = %g, want exact min %g", v, min)
+	}
+	if v, _ := s.Quantile(1); v != max {
+		t.Errorf("Quantile(1) = %g, want exact max %g", v, max)
+	}
+}
+
+// checkRankAccuracy asserts t-digest's strength: small rank error,
+// tightest at the extremes.
+func checkRankAccuracy(t *testing.T, s *Sketch, sorted []float64) {
+	t.Helper()
+	for _, tc := range []struct {
+		q     float64
+		bound float64
+	}{
+		{0.5, 0.02}, {0.9, 0.01}, {0.99, 0.005}, {0.999, 0.002},
+	} {
+		got, err := s.Quantile(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rankErr := exact.RankError(sorted, got, tc.q); rankErr > tc.bound {
+			t.Errorf("q=%g: rank error %g > %g", tc.q, rankErr, tc.bound)
+		}
+	}
+}
+
+func TestRankAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := mustSketch(t, 100)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	checkRankAccuracy(t, s, values)
+}
+
+func TestRankAccuracyHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := mustSketch(t, 100)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = 1 / (1 - rng.Float64())
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	checkRankAccuracy(t, s, values)
+}
+
+func TestRelativeErrorNotGuaranteed(t *testing.T) {
+	// The DDSketch paper's point about t-digest (§1.2): good rank
+	// accuracy, but "still high relative error on heavy-tailed data
+	// sets". Document the magnitude rather than asserting failure.
+	rng := rand.New(rand.NewSource(4))
+	s := mustSketch(t, 100)
+	values := make([]float64, 200000)
+	for i := range values {
+		values[i] = math.Pow(1-rng.Float64(), -2)
+		_ = s.Add(values[i])
+	}
+	sort.Float64s(values)
+	got, err := s.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := exact.RelativeError(got, exact.Quantile(values, 0.99))
+	t.Logf("t-digest p99 relative error on heavy tail: %g", relErr)
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := mustSketch(t, 100)
+	for i := 0; i < 20000; i++ {
+		_ = s.Add(rng.NormFloat64())
+	}
+	qs := make([]float64, 0, 99)
+	for q := 0.01; q < 1; q += 0.01 {
+		qs = append(qs, q)
+	}
+	got, err := s.Quantiles(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1]-1e-12 {
+			t.Fatalf("quantiles not monotone at q=%g: %g < %g", qs[i], got[i], got[i-1])
+		}
+	}
+}
+
+func TestCentroidCountBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := mustSketch(t, 100)
+	for i := 0; i < 500000; i++ {
+		_ = s.Add(rng.Float64())
+	}
+	// The k1 scale bounds centroids to about 2δ.
+	if got := s.NumCentroids(); got > int(2.5*100) {
+		t.Errorf("NumCentroids = %d, want ≤ ~250", got)
+	}
+	if s.SizeBytes() > 64*1024 {
+		t.Errorf("SizeBytes = %d, not compressing", s.SizeBytes())
+	}
+}
+
+func TestCountConservation(t *testing.T) {
+	s := mustSketch(t, 50)
+	for i := 0; i < 12345; i++ {
+		_ = s.Add(float64(i))
+	}
+	if got := s.Count(); got != 12345 {
+		t.Errorf("Count = %g", got)
+	}
+	_ = s.AddWeighted(1, 2.5)
+	if got := s.Count(); got != 12347.5 {
+		t.Errorf("Count with weights = %g", got)
+	}
+}
+
+func TestMergeConservesWeightAndAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := mustSketch(t, 100)
+	b := mustSketch(t, 100)
+	values := make([]float64, 0, 40000)
+	for i := 0; i < 20000; i++ {
+		va, vb := rng.Float64()*50, rng.Float64()*50+25
+		_ = a.Add(va)
+		_ = b.Add(vb)
+		values = append(values, va, vb)
+	}
+	if err := a.MergeWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 40000 {
+		t.Fatalf("merged count = %g", a.Count())
+	}
+	sort.Float64s(values)
+	// One-way merge: rank error roughly doubles; allow a loose bound.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := a.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rankErr := exact.RankError(values, got, q); rankErr > 0.03 {
+			t.Errorf("q=%g: merged rank error %g", q, rankErr)
+		}
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	s := mustSketch(t, 100)
+	_ = s.Add(1)
+	empty := mustSketch(t, 100)
+	if err := s.MergeWith(empty); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count = %g", s.Count())
+	}
+	if err := empty.MergeWith(s); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count() != 1 {
+		t.Errorf("count = %g", empty.Count())
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	s := mustSketch(t, 100)
+	_ = s.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := s.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g): want error", q)
+		}
+	}
+}
+
+func TestQuickEstimatesWithinDataRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := New(50)
+		min, max := math.Inf(1), math.Inf(-1)
+		n := 10 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 1000
+			_ = s.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v, err := s.Quantile(q)
+			if err != nil || v < min || v > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	s := mustSketch(t, 100)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,73 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+// LogarithmicMapping is the memory-optimal mapping from the paper's §2:
+// Index(x) = ⌈log_γ(x)⌉, so each bucket covers (γ^(i−1), γ^i] and the
+// representative value 2γ^i/(γ+1) is an α-accurate estimate of any value
+// in the bucket (Lemma 2). It requires the fewest buckets to cover a
+// given range but pays for a math.Log call on every insertion.
+type LogarithmicMapping struct {
+	base
+}
+
+var _ IndexMapping = (*LogarithmicMapping)(nil)
+
+// expSafeMaxArg bounds the arguments this mapping ever passes to
+// math.Exp. The theoretical overflow threshold is ln(MaxFloat64) ≈
+// 709.78, but implementations are only reliable comfortably below it, so
+// the indexable range is capped at e^709 ≈ 8.2·10^307 — still far beyond
+// any practical measurement.
+const expSafeMaxArg = 709.0
+
+// NewLogarithmic returns the memory-optimal logarithmic mapping with the
+// given relative accuracy α ∈ (0, 1).
+func NewLogarithmic(relativeAccuracy float64) (*LogarithmicMapping, error) {
+	b, err := newBase(relativeAccuracy, 1)
+	if err != nil {
+		return nil, err
+	}
+	// LowerBound evaluates exp((i−1)/multiplier) with (i−1)/multiplier at
+	// most ln(maxIndexable); keep that argument in math.Exp's safe range.
+	b.maxIndexable = math.Min(b.maxIndexable, math.Exp(expSafeMaxArg))
+	return &LogarithmicMapping{base: b}, nil
+}
+
+// Index returns ⌈log_γ(value)⌉.
+func (m *LogarithmicMapping) Index(value float64) int {
+	return indexFor(math.Log(value) * m.multiplier)
+}
+
+// Value returns the bucket's α-accurate representative 2γ^i/(γ+1),
+// computed as LowerBound(index)·(1+α).
+func (m *LogarithmicMapping) Value(index int) float64 {
+	return m.LowerBound(index) * (1 + m.relativeAccuracy)
+}
+
+// LowerBound returns γ^(index−1), the exclusive lower boundary of the
+// bucket at index.
+func (m *LogarithmicMapping) LowerBound(index int) float64 {
+	return math.Exp(float64(index-1) / m.multiplier)
+}
+
+// Equals reports whether other is a LogarithmicMapping with the same γ.
+func (m *LogarithmicMapping) Equals(other IndexMapping) bool {
+	o, ok := other.(*LogarithmicMapping)
+	return ok && approxEqual(m.gamma, o.gamma)
+}
+
+// Encode appends the mapping's binary serialization.
+func (m *LogarithmicMapping) Encode(w *encoding.Writer) {
+	w.Byte(typeLogarithmic)
+	w.Varfloat64(m.relativeAccuracy)
+}
+
+// String implements fmt.Stringer.
+func (m *LogarithmicMapping) String() string {
+	return fmt.Sprintf("LogarithmicMapping(alpha=%g, gamma=%g)", m.relativeAccuracy, m.gamma)
+}

@@ -1,0 +1,203 @@
+// Package mapping implements the value-to-bucket-index mappings used by
+// DDSketch.
+//
+// A mapping assigns every positive value x to an integer bucket index so
+// that all values sharing an index are within a relative distance α of
+// the bucket's representative value (Lemma 2 of the DDSketch paper). The
+// memory-optimal mapping is logarithmic: i = ⌈log_γ(x)⌉ with
+// γ = (1+α)/(1−α). Evaluating a logarithm on every insertion is costly,
+// so this package also provides the paper's §4 "fast" mappings, which
+// read the exponent of the IEEE 754 representation directly and
+// interpolate between powers of two with a linear, quadratic, or cubic
+// polynomial. Interpolated mappings keep the α guarantee by using
+// slightly smaller buckets, at the price of needing more of them to span
+// the same range (≈44% more for linear, ≈8% for quadratic, ≈1% for
+// cubic).
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+// Errors returned by mapping constructors and decoders.
+var (
+	// ErrInvalidRelativeAccuracy is returned when α is outside (0, 1).
+	ErrInvalidRelativeAccuracy = errors.New("mapping: relative accuracy must be between 0 and 1 (exclusive)")
+	// ErrUnknownMapping is returned when decoding an unrecognized mapping type.
+	ErrUnknownMapping = errors.New("mapping: unknown mapping type")
+)
+
+// IndexMapping maps positive float64 values to bucket indexes and back,
+// guaranteeing that Value(Index(x)) is within RelativeAccuracy of x for
+// any x in [MinIndexableValue, MaxIndexableValue].
+type IndexMapping interface {
+	// Index returns the bucket index for value, which must be within the
+	// indexable range. Buckets cover left-open intervals:
+	// value ∈ (LowerBound(i), LowerBound(i+1)] ⇒ Index(value) == i.
+	Index(value float64) int
+
+	// Value returns the representative value of the bucket at index: the
+	// estimator 2γ^i/(γ+1) from Lemma 2 of the paper, generalized to
+	// LowerBound(index)·(1+α) for the interpolated mappings.
+	Value(index int) float64
+
+	// LowerBound returns the exclusive lower bound of the bucket at index.
+	LowerBound(index int) float64
+
+	// RelativeAccuracy returns the accuracy parameter α.
+	RelativeAccuracy() float64
+
+	// Gamma returns the maximum ratio between the boundaries of a bucket,
+	// γ = (1+α)/(1−α).
+	Gamma() float64
+
+	// MinIndexableValue returns the smallest positive value the mapping
+	// can index while preserving its guarantee.
+	MinIndexableValue() float64
+
+	// MaxIndexableValue returns the largest value the mapping can index
+	// while preserving its guarantee.
+	MaxIndexableValue() float64
+
+	// Equals reports whether other produces identical indexes for all
+	// values, so that sketches using the two mappings can be merged.
+	Equals(other IndexMapping) bool
+
+	// Encode appends a self-describing serialization of the mapping.
+	Encode(w *encoding.Writer)
+
+	fmt.Stringer
+}
+
+// Mapping type tags used in the binary encoding.
+const (
+	typeLogarithmic               byte = 1
+	typeLinearlyInterpolated      byte = 2
+	typeQuadraticallyInterpolated byte = 3
+	typeCubicallyInterpolated     byte = 4
+)
+
+// Decode reads a mapping previously written by IndexMapping.Encode.
+func Decode(r *encoding.Reader) (IndexMapping, error) {
+	tag, err := r.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("mapping: decoding type tag: %w", err)
+	}
+	alpha, err := r.Varfloat64()
+	if err != nil {
+		return nil, fmt.Errorf("mapping: decoding relative accuracy: %w", err)
+	}
+	switch tag {
+	case typeLogarithmic:
+		return NewLogarithmic(alpha)
+	case typeLinearlyInterpolated:
+		return NewLinearlyInterpolated(alpha)
+	case typeQuadraticallyInterpolated:
+		return NewQuadraticallyInterpolated(alpha)
+	case typeCubicallyInterpolated:
+		return NewCubicallyInterpolated(alpha)
+	default:
+		return nil, fmt.Errorf("mapping: type tag %d: %w", tag, ErrUnknownMapping)
+	}
+}
+
+// minNormalFloat64 is the smallest positive normal float64. Values below
+// it are outside every mapping's indexable range: the interpolated
+// mappings read the binary exponent directly, which is not meaningful for
+// subnormals.
+const minNormalFloat64 = 0x1p-1022
+
+// base holds the state shared by all mappings in this package.
+//
+// A mapping is defined by a monotone approximation A(x) of a logarithm
+// (natural log for the logarithmic mapping, a piecewise-polynomial
+// approximation of log2 for the interpolated ones) and a multiplier
+// scaling A to index units: Index(x) = ⌈A(x)·multiplier⌉. The multiplier
+// is chosen so that the worst-case ratio between consecutive bucket
+// boundaries is at most γ, which is what the α guarantee requires.
+type base struct {
+	gamma            float64
+	relativeAccuracy float64
+	multiplier       float64
+	minIndexable     float64
+	maxIndexable     float64
+}
+
+func newBase(relativeAccuracy, slope float64) (base, error) {
+	if math.IsNaN(relativeAccuracy) || relativeAccuracy <= 0 || relativeAccuracy >= 1 {
+		return base{}, fmt.Errorf("%w: got %v", ErrInvalidRelativeAccuracy, relativeAccuracy)
+	}
+	// gamma = (1+α)/(1−α); log1p form avoids cancellation for small α.
+	gamma := 1 + 2*relativeAccuracy/(1-relativeAccuracy)
+	logGamma := math.Log1p(2 * relativeAccuracy / (1 - relativeAccuracy))
+	return base{
+		gamma:            gamma,
+		relativeAccuracy: relativeAccuracy,
+		// slope is the supremum of d(ln x)/dA for the mapping's
+		// approximation A; the resulting multiplier guarantees that one
+		// index step never spans a value ratio above gamma.
+		multiplier:   slope / logGamma,
+		minIndexable: minNormalFloat64 * gamma,
+		maxIndexable: math.MaxFloat64 / gamma,
+	}, nil
+}
+
+func (b *base) RelativeAccuracy() float64 { return b.relativeAccuracy }
+func (b *base) Gamma() float64            { return b.gamma }
+
+// MinIndexableValue returns the smallest indexable positive value.
+func (b *base) MinIndexableValue() float64 { return b.minIndexable }
+
+// MaxIndexableValue returns the largest indexable value.
+func (b *base) MaxIndexableValue() float64 { return b.maxIndexable }
+
+// indexFor converts a scaled approximate logarithm to a bucket index,
+// computing ⌈a⌉ without the cost of math.Ceil.
+func indexFor(a float64) int {
+	i := int(a)
+	if a > float64(i) {
+		i++
+	}
+	return i
+}
+
+// approxEqual compares mapping parameters with a tolerance wide enough to
+// absorb float round-trips through serialization, yet far tighter than
+// any meaningful accuracy difference.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Bit-level helpers shared by the interpolated mappings.
+
+const (
+	exponentBias = 1023
+	mantissaBits = 52
+	mantissaMask = 0x000fffffffffffff
+	exponentMask = 0x7ff0000000000000
+	oneBits      = 0x3ff0000000000000 // bits of float64(1.0)
+)
+
+// binaryExponent returns the unbiased binary exponent of a positive
+// normal float64.
+func binaryExponent(bits uint64) float64 {
+	return float64(int((bits&exponentMask)>>mantissaBits) - exponentBias)
+}
+
+// significandPlusOne returns the significand of a positive normal float64
+// as a value in [1, 2).
+func significandPlusOne(bits uint64) float64 {
+	return math.Float64frombits(bits&mantissaMask | oneBits)
+}
+
+// buildValue reconstructs significandPlusOne·2^exponent. It tolerates the
+// edge cases (significandPlusOne rounding to exactly 2, very small
+// exponents) by delegating to math.Ldexp, which is exact for all inputs;
+// this path only runs on queries, never on insertions.
+func buildValue(exponent float64, significandPlusOne float64) float64 {
+	return math.Ldexp(significandPlusOne, int(exponent))
+}

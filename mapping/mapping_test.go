@@ -1,0 +1,343 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+// testAccuracies spans the range used in practice, from loose to tight.
+var testAccuracies = []float64{0.25, 0.1, 0.05, 0.02, 0.01, 0.001, 1e-4}
+
+type constructor struct {
+	name string
+	new  func(alpha float64) (IndexMapping, error)
+}
+
+var constructors = []constructor{
+	{"Logarithmic", func(a float64) (IndexMapping, error) { return NewLogarithmic(a) }},
+	{"LinearlyInterpolated", func(a float64) (IndexMapping, error) { return NewLinearlyInterpolated(a) }},
+	{"QuadraticallyInterpolated", func(a float64) (IndexMapping, error) { return NewQuadraticallyInterpolated(a) }},
+	{"CubicallyInterpolated", func(a float64) (IndexMapping, error) { return NewCubicallyInterpolated(a) }},
+}
+
+func mustMapping(t *testing.T, c constructor, alpha float64) IndexMapping {
+	t.Helper()
+	m, err := c.new(alpha)
+	if err != nil {
+		t.Fatalf("%s(%g): %v", c.name, alpha, err)
+	}
+	return m
+}
+
+// relErrTolerance gives a hair of slack over α for float rounding in the
+// index and value computations.
+func relErrTolerance(alpha float64) float64 { return alpha * (1 + 1e-9) }
+
+func checkAccurate(t *testing.T, name string, m IndexMapping, v float64) {
+	t.Helper()
+	index := m.Index(v)
+	estimate := m.Value(index)
+	relErr := math.Abs(estimate-v) / v
+	if relErr > relErrTolerance(m.RelativeAccuracy()) {
+		t.Errorf("%s: value %g -> index %d -> estimate %g, relative error %g > alpha %g",
+			name, v, index, estimate, relErr, m.RelativeAccuracy())
+	}
+}
+
+func TestInvalidRelativeAccuracy(t *testing.T) {
+	for _, c := range constructors {
+		for _, alpha := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+			if _, err := c.new(alpha); err == nil {
+				t.Errorf("%s(%g): want error", c.name, alpha)
+			}
+		}
+	}
+}
+
+func TestAccuracyOnGrid(t *testing.T) {
+	// A deterministic grid of values spanning ~30 orders of magnitude.
+	values := []float64{
+		1e-12, 3.5e-9, 1e-6, 8e-5, 0.001, 0.0123, 0.1, 0.5, 0.99, 1,
+		1.00001, 2, math.E, 10, 100, 12345.6789, 1e6, 987654321, 1e12, 3.7e15,
+	}
+	for _, c := range constructors {
+		for _, alpha := range testAccuracies {
+			m := mustMapping(t, c, alpha)
+			for _, v := range values {
+				checkAccurate(t, c.name, m, v)
+			}
+		}
+	}
+}
+
+func TestAccuracyNearPowersOfTwo(t *testing.T) {
+	// The interpolated mappings stitch polynomial segments together at
+	// powers of two; values straddling the seams are the risky inputs.
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		for e := -40; e <= 40; e++ {
+			p := math.Ldexp(1, e)
+			for _, v := range []float64{
+				p, math.Nextafter(p, 0), math.Nextafter(p, math.Inf(1)),
+				p * (1 - 1e-12), p * (1 + 1e-12),
+			} {
+				checkAccurate(t, c.name, m, v)
+			}
+		}
+	}
+}
+
+func TestAccuracyAtIndexableBoundaries(t *testing.T) {
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.1, 0.01} {
+			m := mustMapping(t, c, alpha)
+			for _, v := range []float64{
+				m.MinIndexableValue(),
+				m.MinIndexableValue() * 2,
+				m.MaxIndexableValue(),
+				m.MaxIndexableValue() / 2,
+			} {
+				checkAccurate(t, c.name, m, v)
+			}
+		}
+	}
+}
+
+func TestAccuracyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.05, 0.01} {
+			m := mustMapping(t, c, alpha)
+			for i := 0; i < 10000; i++ {
+				// log-uniform over ~24 decades
+				v := math.Exp(rng.Float64()*110 - 55)
+				checkAccurate(t, c.name, m, v)
+			}
+		}
+	}
+}
+
+func TestQuickAccuracy(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			v := math.Exp(rng.Float64()*80 - 40)
+			index := m.Index(v)
+			estimate := m.Value(index)
+			return math.Abs(estimate-v)/v <= relErrTolerance(0.01)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestIndexIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.02)
+		prev := math.Inf(-1)
+		prevIndex := 0
+		first := true
+		for i := 0; i < 5000; i++ {
+			v := math.Exp(rng.Float64()*60 - 30)
+			index := m.Index(v)
+			if !first {
+				if (v > prev && index < prevIndex) || (v < prev && index > prevIndex) {
+					t.Fatalf("%s: non-monotone: Index(%g)=%d vs Index(%g)=%d",
+						c.name, prev, prevIndex, v, index)
+				}
+			}
+			prev, prevIndex, first = v, index, false
+		}
+	}
+}
+
+func TestLowerBoundBracketsBucket(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		for _, v := range []float64{1e-9, 0.004, 1, 17.3, 1e9} {
+			i := m.Index(v)
+			lo, hi := m.LowerBound(i), m.LowerBound(i+1)
+			// Allow one ulp of slack at the boundaries.
+			if v < lo*(1-1e-12) || v > hi*(1+1e-12) {
+				t.Errorf("%s: value %g outside its bucket %d = (%g, %g]", c.name, v, i, lo, hi)
+			}
+			if m.Value(i) <= lo || m.Value(i) > hi*(1+1e-12) {
+				t.Errorf("%s: Value(%d)=%g outside bucket (%g, %g]", c.name, i, m.Value(i), lo, hi)
+			}
+		}
+	}
+}
+
+func TestLowerBoundRatioIsAtMostGamma(t *testing.T) {
+	// The α guarantee requires consecutive bucket boundaries to be within
+	// a factor γ; the interpolated mappings must have inflated their
+	// multipliers enough.
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.1, 0.01} {
+			m := mustMapping(t, c, alpha)
+			base := m.Index(1.0)
+			for i := base - 2000; i < base+2000; i++ {
+				ratio := m.LowerBound(i+1) / m.LowerBound(i)
+				if ratio > m.Gamma()*(1+1e-9) {
+					t.Fatalf("%s(alpha=%g): bucket %d ratio %.12f > gamma %.12f",
+						c.name, alpha, i, ratio, m.Gamma())
+				}
+			}
+		}
+	}
+}
+
+func TestBucketCountInflation(t *testing.T) {
+	// Interpolated mappings use more buckets to span the same range; the
+	// overheads are fixed by the interpolation degree.
+	span := func(m IndexMapping) float64 {
+		return float64(m.Index(1e12) - m.Index(1e-12))
+	}
+	alpha := 0.01
+	log := mustMapping(t, constructors[0], alpha)
+	ref := span(log)
+	cases := []struct {
+		c        constructor
+		overhead float64 // expected bucket-count multiplier vs logarithmic
+	}{
+		{constructors[1], 1 / math.Ln2},    // ≈1.4427
+		{constructors[2], 0.75 / math.Ln2}, // ≈1.0820
+		{constructors[3], 0.70 / math.Ln2}, // ≈1.0099
+	}
+	for _, tc := range cases {
+		m := mustMapping(t, tc.c, alpha)
+		got := span(m) / ref
+		if math.Abs(got-tc.overhead) > 0.005 {
+			t.Errorf("%s: bucket inflation %g, want ≈%g", tc.c.name, got, tc.overhead)
+		}
+	}
+}
+
+func TestGammaAndAccuracyAccessors(t *testing.T) {
+	for _, c := range constructors {
+		alpha := 0.02
+		m := mustMapping(t, c, alpha)
+		if m.RelativeAccuracy() != alpha {
+			t.Errorf("%s: RelativeAccuracy = %g, want %g", c.name, m.RelativeAccuracy(), alpha)
+		}
+		wantGamma := (1 + alpha) / (1 - alpha)
+		if math.Abs(m.Gamma()-wantGamma) > 1e-12 {
+			t.Errorf("%s: Gamma = %g, want %g", c.name, m.Gamma(), wantGamma)
+		}
+	}
+}
+
+func TestEquals(t *testing.T) {
+	for i, ci := range constructors {
+		mi := mustMapping(t, ci, 0.01)
+		if !mi.Equals(mi) {
+			t.Errorf("%s: not equal to itself", ci.name)
+		}
+		same := mustMapping(t, ci, 0.01)
+		if !mi.Equals(same) {
+			t.Errorf("%s: not equal to same-alpha instance", ci.name)
+		}
+		other := mustMapping(t, ci, 0.02)
+		if mi.Equals(other) {
+			t.Errorf("%s: equal to different-alpha instance", ci.name)
+		}
+		for j, cj := range constructors {
+			if i == j {
+				continue
+			}
+			mj := mustMapping(t, cj, 0.01)
+			if mi.Equals(mj) {
+				t.Errorf("%s equal to %s", ci.name, cj.name)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.1, 0.01, 0.007} {
+			m := mustMapping(t, c, alpha)
+			w := encoding.NewWriter(16)
+			m.Encode(w)
+			got, err := Decode(encoding.NewReader(w.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: Decode: %v", c.name, err)
+			}
+			if !m.Equals(got) {
+				t.Errorf("%s: decoded mapping %v not equal to original %v", c.name, got, m)
+			}
+			// Decoded mapping must index identically.
+			for _, v := range []float64{0.001, 1, 42.5, 9e8} {
+				if m.Index(v) != got.Index(v) {
+					t.Errorf("%s: decoded Index(%g) = %d, want %d", c.name, v, got.Index(v), m.Index(v))
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(encoding.NewReader(nil)); err == nil {
+		t.Error("Decode(empty): want error")
+	}
+	w := encoding.NewWriter(8)
+	w.Byte(99) // unknown tag
+	w.Varfloat64(0.01)
+	if _, err := Decode(encoding.NewReader(w.Bytes())); err == nil {
+		t.Error("Decode(unknown tag): want error")
+	}
+}
+
+func TestStringMentionsParameters(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		if s := m.String(); len(s) == 0 {
+			t.Errorf("%s: empty String()", c.name)
+		}
+	}
+}
+
+func TestIndexableRangeIsSane(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		if m.MinIndexableValue() <= 0 {
+			t.Errorf("%s: MinIndexableValue = %g, want > 0", c.name, m.MinIndexableValue())
+		}
+		if !(m.MaxIndexableValue() > m.MinIndexableValue()) {
+			t.Errorf("%s: empty indexable range", c.name)
+		}
+		if math.IsInf(m.MaxIndexableValue(), 1) {
+			t.Errorf("%s: MaxIndexableValue is infinite", c.name)
+		}
+	}
+}
+
+// TestInterpolationInverses verifies that LowerBound really is the
+// inverse of the interpolation used by Index: Index(LowerBound(i)+ε)
+// must be i for small ε.
+func TestInterpolationInverses(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		base := m.Index(1.0)
+		for i := base - 500; i < base+500; i += 7 {
+			lb := m.LowerBound(i)
+			just := lb * (1 + 1e-10)
+			if got := m.Index(just); got != i && got != i+1 {
+				// Exactly at a boundary the index may round either way by
+				// one ulp, but never further.
+				t.Errorf("%s: Index(LowerBound(%d)(1+ε)) = %d", c.name, i, got)
+			}
+			mid := lb * (1 + m.RelativeAccuracy()/2)
+			if got := m.Index(mid); got != i {
+				t.Errorf("%s: Index(mid of bucket %d) = %d", c.name, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ddsketch
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// The binary format is self-describing and versioned:
+//
+//	magic  "DDS"  (3 bytes)
+//	version       (1 byte)
+//	mapping       (type tag + parameters)
+//	zeroCount     (varfloat64)
+//	min, max, sum (varfloat64 ×3)
+//	positive store (type tag + parameters + bins)
+//	negative store (type tag + parameters + bins)
+//
+// Bucket counts round-trip exactly; decoding reconstructs the original
+// mapping and store configurations, so a decoded sketch keeps both its
+// accuracy guarantee and its collapsing behaviour.
+
+const serializationVersion = 1
+
+var serializationMagic = [3]byte{'D', 'D', 'S'}
+
+// Errors returned by Decode.
+var (
+	// ErrInvalidEncoding is returned when the input is not a serialized
+	// DDSketch.
+	ErrInvalidEncoding = errors.New("ddsketch: invalid encoding")
+	// ErrUnsupportedVersion is returned for serialization versions this
+	// library does not understand.
+	ErrUnsupportedVersion = errors.New("ddsketch: unsupported serialization version")
+)
+
+// Encode returns a compact binary serialization of the sketch, suitable
+// for shipping to an aggregation service and decoding with Decode.
+func (s *DDSketch) Encode() []byte {
+	w := encoding.NewWriter(64 + 4*s.NumBins())
+	w.Byte(serializationMagic[0])
+	w.Byte(serializationMagic[1])
+	w.Byte(serializationMagic[2])
+	w.Byte(serializationVersion)
+	s.mapping.Encode(w)
+	w.Varfloat64(s.zeroCount)
+	w.Varfloat64(s.min)
+	w.Varfloat64(s.max)
+	w.Varfloat64(s.sum)
+	s.positive.Encode(w)
+	s.negative.Encode(w)
+	return w.Bytes()
+}
+
+// Decode reconstructs a sketch serialized with Encode. The returned
+// sketch has the same mapping, store types, contents, and statistics as
+// the original.
+func Decode(data []byte) (*DDSketch, error) {
+	r := encoding.NewReader(data)
+	for _, want := range serializationMagic {
+		got, err := r.Byte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidEncoding, err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("%w: bad magic", ErrInvalidEncoding)
+		}
+	}
+	version, err := r.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidEncoding, err)
+	}
+	if version != serializationVersion {
+		return nil, fmt.Errorf("%w: got version %d", ErrUnsupportedVersion, version)
+	}
+	m, err := mapping.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding mapping: %w", err)
+	}
+	zeroCount, err := r.Varfloat64()
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding zero count: %w", err)
+	}
+	min, err := r.Varfloat64()
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding min: %w", err)
+	}
+	max, err := r.Varfloat64()
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding max: %w", err)
+	}
+	sum, err := r.Varfloat64()
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding sum: %w", err)
+	}
+	positive, err := store.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding positive store: %w", err)
+	}
+	negative, err := store.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("ddsketch: decoding negative store: %w", err)
+	}
+	return &DDSketch{
+		mapping:   m,
+		positive:  positive,
+		negative:  negative,
+		zeroCount: zeroCount,
+		min:       min,
+		max:       max,
+		sum:       sum,
+	}, nil
+}
+
+// DecodeAndMergeWith decodes a serialized sketch and merges it into s in
+// one step, the common operation of an aggregation service consuming
+// sketches from many agents.
+func (s *DDSketch) DecodeAndMergeWith(data []byte) error {
+	other, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	return s.MergeWith(other)
+}

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+const (
+	// pageLenLog2 sets the page size: 2^5 = 32 buckets per page. Small
+	// pages keep memory proportional to the occupied index ranges even
+	// when they are far apart; 32 doubles (256 bytes) is large enough to
+	// amortize the page slice overhead.
+	pageLenLog2 = 5
+	pageLen     = 1 << pageLenLog2
+	pageMask    = pageLen - 1
+
+	// bufferFlushLen bounds the insertion buffer. Buffered unit
+	// increments avoid page-lookup branches on the hot path and are
+	// folded into pages in batches.
+	bufferFlushLen = 256
+)
+
+// BufferedPaginatedStore is the speed/space compromise among the stores:
+// counts live in fixed-size pages allocated only for occupied index
+// ranges (bounding memory like SparseStore), while unit-count insertions
+// go through an append-only buffer that is periodically flushed
+// (approaching DenseStore insertion speed).
+type BufferedPaginatedStore struct {
+	buffer       []int // pending unit increments, one entry each
+	pages        [][]float64
+	minPageIndex int     // page index of pages[0]; valid iff len(pages) > 0
+	pagedCount   float64 // total weight held in pages (excludes buffer)
+}
+
+var _ Store = (*BufferedPaginatedStore)(nil)
+
+// NewBufferedPaginatedStore returns an empty BufferedPaginatedStore.
+func NewBufferedPaginatedStore() *BufferedPaginatedStore {
+	return &BufferedPaginatedStore{
+		buffer:       make([]int, 0, bufferFlushLen),
+		minPageIndex: 0,
+	}
+}
+
+// pageIndexOf returns the page holding the given bucket index. Go's
+// arithmetic right shift floors for negative indexes, which is what the
+// paging scheme needs.
+func pageIndexOf(index int) int { return index >> pageLenLog2 }
+
+// page returns the page for pageIndex, allocating it (and growing the
+// page directory) if ensure is true; otherwise it returns nil for pages
+// that do not exist.
+func (s *BufferedPaginatedStore) page(pageIndex int, ensure bool) []float64 {
+	if len(s.pages) == 0 {
+		if !ensure {
+			return nil
+		}
+		s.pages = make([][]float64, 1, 8)
+		s.minPageIndex = pageIndex
+	}
+	pos := pageIndex - s.minPageIndex
+	if pos < 0 {
+		if !ensure {
+			return nil
+		}
+		grown := make([][]float64, len(s.pages)-pos)
+		copy(grown[-pos:], s.pages)
+		s.pages = grown
+		s.minPageIndex = pageIndex
+		pos = 0
+	} else if pos >= len(s.pages) {
+		if !ensure {
+			return nil
+		}
+		for pos >= len(s.pages) {
+			s.pages = append(s.pages, nil)
+		}
+	}
+	if s.pages[pos] == nil {
+		if !ensure {
+			return nil
+		}
+		s.pages[pos] = make([]float64, pageLen)
+	}
+	return s.pages[pos]
+}
+
+// Add appends a unit increment to the buffer, flushing when full.
+func (s *BufferedPaginatedStore) Add(index int) {
+	s.buffer = append(s.buffer, index)
+	if len(s.buffer) >= bufferFlushLen {
+		s.flush()
+	}
+}
+
+// AddWithCount adds count to the bucket at index. Unit counts use the
+// buffer; anything else goes straight to the pages.
+func (s *BufferedPaginatedStore) AddWithCount(index int, count float64) {
+	if count == 0 {
+		return
+	}
+	if count == 1 {
+		s.Add(index)
+		return
+	}
+	if count < 0 {
+		// Removals must observe buffered increments first.
+		s.flush()
+		page := s.page(pageIndexOf(index), false)
+		if page == nil {
+			return
+		}
+		s.addToPage(page, index, count)
+		return
+	}
+	s.addToPage(s.page(pageIndexOf(index), true), index, count)
+}
+
+// addToPage applies a count delta to a materialized page, clamping the
+// bucket at zero and maintaining the paged total.
+func (s *BufferedPaginatedStore) addToPage(page []float64, index int, count float64) {
+	line := index & pageMask
+	old := page[line]
+	updated := old + count
+	if updated < 0 {
+		updated = 0
+	}
+	page[line] = updated
+	s.pagedCount += updated - old
+	if s.pagedCount <= 0 {
+		s.pagedCount = 0
+	}
+}
+
+// flush folds the buffered increments into the pages. Consecutive
+// increments often hit the same page, so the previous page is kept warm
+// across iterations; page lookups themselves are O(1) array accesses, so
+// no sorting is needed.
+func (s *BufferedPaginatedStore) flush() {
+	if len(s.buffer) == 0 {
+		return
+	}
+	lastPageIndex := 0
+	var lastPage []float64
+	for _, index := range s.buffer {
+		pageIndex := pageIndexOf(index)
+		if lastPage == nil || pageIndex != lastPageIndex {
+			lastPage = s.page(pageIndex, true)
+			lastPageIndex = pageIndex
+		}
+		lastPage[index&pageMask]++
+	}
+	s.pagedCount += float64(len(s.buffer))
+	s.buffer = s.buffer[:0]
+}
+
+// IsEmpty reports whether the store holds no weight.
+func (s *BufferedPaginatedStore) IsEmpty() bool {
+	return len(s.buffer) == 0 && s.pagedCount <= 0
+}
+
+// TotalCount returns the total weight across all buckets.
+func (s *BufferedPaginatedStore) TotalCount() float64 {
+	return s.pagedCount + float64(len(s.buffer))
+}
+
+// MinIndex returns the lowest non-empty bucket index.
+func (s *BufferedPaginatedStore) MinIndex() (int, error) {
+	s.flush()
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	for pos, page := range s.pages {
+		if page == nil {
+			continue
+		}
+		for line, c := range page {
+			if c > 0 {
+				return (s.minPageIndex+pos)<<pageLenLog2 + line, nil
+			}
+		}
+	}
+	return 0, ErrEmptyStore
+}
+
+// MaxIndex returns the highest non-empty bucket index.
+func (s *BufferedPaginatedStore) MaxIndex() (int, error) {
+	s.flush()
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	for pos := len(s.pages) - 1; pos >= 0; pos-- {
+		page := s.pages[pos]
+		if page == nil {
+			continue
+		}
+		for line := pageLen - 1; line >= 0; line-- {
+			if page[line] > 0 {
+				return (s.minPageIndex+pos)<<pageLenLog2 + line, nil
+			}
+		}
+	}
+	return 0, ErrEmptyStore
+}
+
+// KeyAtRank returns the lowest index whose cumulative count exceeds rank.
+func (s *BufferedPaginatedStore) KeyAtRank(rank float64) (int, error) {
+	s.flush()
+	return keyAtRankGeneric(s, rank)
+}
+
+// KeyAtRankDescending returns the highest index whose cumulative count,
+// accumulated downward from the highest bucket, exceeds rank.
+func (s *BufferedPaginatedStore) KeyAtRankDescending(rank float64) (int, error) {
+	s.flush()
+	return keyAtRankDescendingGeneric(s, rank)
+}
+
+// ForEach visits non-empty buckets in ascending index order.
+func (s *BufferedPaginatedStore) ForEach(f func(index int, count float64) bool) {
+	s.flush()
+	for pos, page := range s.pages {
+		if page == nil {
+			continue
+		}
+		base := (s.minPageIndex + pos) << pageLenLog2
+		for line, c := range page {
+			if c > 0 {
+				if !f(base+line, c) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// MergeWith adds every bucket of other into this store.
+func (s *BufferedPaginatedStore) MergeWith(other Store) {
+	if o, ok := other.(*BufferedPaginatedStore); ok {
+		o.flush()
+		for pos, page := range o.pages {
+			if page == nil {
+				continue
+			}
+			pageIndex := o.minPageIndex + pos
+			dst := s.page(pageIndex, true)
+			for line, c := range page {
+				if c > 0 {
+					dst[line] += c
+					s.pagedCount += c
+				}
+			}
+		}
+		return
+	}
+	mergeGeneric(s, other)
+}
+
+// Copy returns a deep copy of the store.
+func (s *BufferedPaginatedStore) Copy() Store {
+	s.flush()
+	c := NewBufferedPaginatedStore()
+	c.minPageIndex = s.minPageIndex
+	c.pagedCount = s.pagedCount
+	if len(s.pages) > 0 {
+		c.pages = make([][]float64, len(s.pages))
+		for i, page := range s.pages {
+			if page != nil {
+				c.pages[i] = append([]float64(nil), page...)
+			}
+		}
+	}
+	return c
+}
+
+// Clear empties the store, releasing pages.
+func (s *BufferedPaginatedStore) Clear() {
+	s.buffer = s.buffer[:0]
+	s.pages = nil
+	s.pagedCount = 0
+}
+
+// NumBins returns the number of non-empty buckets.
+func (s *BufferedPaginatedStore) NumBins() int {
+	s.flush()
+	n := 0
+	for _, page := range s.pages {
+		for _, c := range page {
+			if c > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SizeBytes estimates the in-memory footprint in bytes: the buffer, the
+// page directory, and each materialized page (32 doubles + slice header).
+func (s *BufferedPaginatedStore) SizeBytes() int {
+	size := 8*cap(s.buffer) + 24*cap(s.pages) + 64
+	for _, page := range s.pages {
+		if page != nil {
+			size += 8*pageLen + 24
+		}
+	}
+	return size
+}
+
+// Encode appends the store's binary serialization.
+func (s *BufferedPaginatedStore) Encode(w *encoding.Writer) {
+	w.Byte(typeBufferedPaginated)
+	encodeBins(w, s)
+}
+
+// String implements fmt.Stringer.
+func (s *BufferedPaginatedStore) String() string {
+	return fmt.Sprintf("BufferedPaginatedStore(bins=%d, count=%g)", s.NumBins(), s.TotalCount())
+}

@@ -1,0 +1,164 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+// SparseStore keeps bucket counts in a hash map. Memory is proportional
+// to the number of non-empty buckets regardless of how scattered their
+// indexes are, at the cost of hashing on every insertion and sorting on
+// every query — the "sparse manner … sacrificing speed for space
+// efficiency" implementation from §2.2 of the paper.
+type SparseStore struct {
+	counts map[int]float64
+	count  float64
+}
+
+var _ Store = (*SparseStore)(nil)
+
+// NewSparseStore returns an empty SparseStore.
+func NewSparseStore() *SparseStore {
+	return &SparseStore{counts: make(map[int]float64)}
+}
+
+// Add increments the bucket at index by one.
+func (s *SparseStore) Add(index int) { s.AddWithCount(index, 1) }
+
+// AddWithCount adds count to the bucket at index, clamping at zero.
+func (s *SparseStore) AddWithCount(index int, count float64) {
+	if count == 0 {
+		return
+	}
+	old := s.counts[index]
+	updated := old + count
+	if updated <= 0 {
+		if old > 0 {
+			delete(s.counts, index)
+		}
+		updated = 0
+	} else {
+		s.counts[index] = updated
+	}
+	s.count += updated - old
+	if s.count <= 0 {
+		s.count = 0
+	}
+}
+
+// IsEmpty reports whether the store holds no weight.
+func (s *SparseStore) IsEmpty() bool { return s.count <= 0 }
+
+// TotalCount returns the total weight across all buckets.
+func (s *SparseStore) TotalCount() float64 { return s.count }
+
+// sortedKeys returns the non-empty bucket indexes in ascending order.
+func (s *SparseStore) sortedKeys() []int {
+	keys := make([]int, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// MinIndex returns the lowest non-empty bucket index.
+func (s *SparseStore) MinIndex() (int, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	first := true
+	min := 0
+	for k := range s.counts {
+		if first || k < min {
+			min = k
+			first = false
+		}
+	}
+	return min, nil
+}
+
+// MaxIndex returns the highest non-empty bucket index.
+func (s *SparseStore) MaxIndex() (int, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	first := true
+	max := 0
+	for k := range s.counts {
+		if first || k > max {
+			max = k
+			first = false
+		}
+	}
+	return max, nil
+}
+
+// KeyAtRank returns the lowest index whose cumulative count exceeds rank.
+func (s *SparseStore) KeyAtRank(rank float64) (int, error) {
+	return keyAtRankGeneric(s, rank)
+}
+
+// KeyAtRankDescending returns the highest index whose cumulative count,
+// accumulated downward from the highest bucket, exceeds rank.
+func (s *SparseStore) KeyAtRankDescending(rank float64) (int, error) {
+	return keyAtRankDescendingGeneric(s, rank)
+}
+
+// ForEach visits non-empty buckets in ascending index order.
+func (s *SparseStore) ForEach(f func(index int, count float64) bool) {
+	for _, k := range s.sortedKeys() {
+		if !f(k, s.counts[k]) {
+			return
+		}
+	}
+}
+
+// MergeWith adds every bucket of other into this store.
+func (s *SparseStore) MergeWith(other Store) {
+	// Order does not matter for a map; avoid the generic sorted walk.
+	if o, ok := other.(*SparseStore); ok {
+		for k, c := range o.counts {
+			s.AddWithCount(k, c)
+		}
+		return
+	}
+	mergeGeneric(s, other)
+}
+
+// Copy returns a deep copy of the store.
+func (s *SparseStore) Copy() Store {
+	c := NewSparseStore()
+	for k, v := range s.counts {
+		c.counts[k] = v
+	}
+	c.count = s.count
+	return c
+}
+
+// Clear empties the store.
+func (s *SparseStore) Clear() {
+	clear(s.counts)
+	s.count = 0
+}
+
+// NumBins returns the number of non-empty buckets.
+func (s *SparseStore) NumBins() int { return len(s.counts) }
+
+// SizeBytes estimates the in-memory footprint in bytes. Go map buckets
+// carry roughly 3x the raw entry size in overhead (hash metadata, spare
+// capacity), so each 16-byte entry is charged 48 bytes.
+func (s *SparseStore) SizeBytes() int { return 48*len(s.counts) + 48 }
+
+// Encode appends the store's binary serialization.
+func (s *SparseStore) Encode(w *encoding.Writer) {
+	w.Byte(typeSparse)
+	encodeBins(w, s)
+}
+
+// String implements fmt.Stringer.
+func (s *SparseStore) String() string {
+	return fmt.Sprintf("SparseStore(bins=%d, count=%g)", s.NumBins(), s.TotalCount())
+}

@@ -1,0 +1,275 @@
+// Package store implements the bucket-count containers backing DDSketch.
+//
+// A store maps integer bucket indexes (produced by a mapping.IndexMapping)
+// to non-negative float64 counts. The paper discusses several layout
+// strategies in §2.2; this package provides all of them:
+//
+//   - DenseStore: contiguous array over the index range, unbounded growth;
+//     the fastest for insertion-heavy workloads with moderate ranges.
+//   - CollapsingLowestDenseStore: dense array capped at a maximum number
+//     of bins; when full, the lowest buckets are collapsed together
+//     (Algorithm 3 of the paper). This is the store that gives DDSketch
+//     its bounded-size guarantee while preserving the upper quantiles.
+//   - CollapsingHighestDenseStore: the mirror image, collapsing the
+//     highest buckets; used for the negative-value store so that the
+//     global lowest quantiles degrade first (§2.2).
+//   - SparseStore: a hash map from index to count; minimal memory for
+//     scattered indexes, slower inserts ("sacrificing speed for space
+//     efficiency", §2.2).
+//   - BufferedPaginatedStore: a compromise keeping counts in small pages
+//     allocated on demand, with an insertion buffer amortizing the page
+//     lookups.
+//
+// Counts are float64 (not integers) so that merged, scaled, or weighted
+// sketches work naturally. All stores accept negative count deltas to
+// support deletion, clamping individual bins at zero.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ddsketch-go/ddsketch/encoding"
+)
+
+// Errors returned by stores.
+var (
+	// ErrEmptyStore is returned by queries that are undefined on a store
+	// holding no values.
+	ErrEmptyStore = errors.New("store: empty store")
+	// ErrUnknownStore is returned when decoding an unrecognized store type.
+	ErrUnknownStore = errors.New("store: unknown store type")
+)
+
+// Store is a container of counts keyed by integer bucket index.
+//
+// Implementations are not safe for concurrent use; see the ddsketch
+// package for a synchronized sketch wrapper.
+type Store interface {
+	// Add increments the count of the bucket at index by one.
+	Add(index int)
+
+	// AddWithCount adds count to the bucket at index. A negative count
+	// removes previously added weight; the bucket is clamped at zero, so
+	// removing more weight than a bucket holds silently discards the
+	// excess.
+	AddWithCount(index int, count float64)
+
+	// IsEmpty reports whether the store holds no weight.
+	IsEmpty() bool
+
+	// TotalCount returns the total weight across all buckets.
+	TotalCount() float64
+
+	// MinIndex returns the lowest index with a positive count.
+	MinIndex() (int, error)
+
+	// MaxIndex returns the highest index with a positive count.
+	MaxIndex() (int, error)
+
+	// KeyAtRank returns the lowest index such that the cumulative count
+	// of all buckets up to and including it exceeds rank. If rank is at
+	// least TotalCount(), it returns the highest non-empty index. It is
+	// the store-level primitive behind the paper's Algorithm 2.
+	KeyAtRank(rank float64) (int, error)
+
+	// KeyAtRankDescending mirrors KeyAtRank from the other end: it
+	// returns the highest index such that the cumulative count of all
+	// buckets down to and including it exceeds rank. The sketch uses it
+	// to query the negative-value store, where ascending value order is
+	// descending magnitude order.
+	KeyAtRankDescending(rank float64) (int, error)
+
+	// ForEach calls f for each non-empty bucket in ascending index order,
+	// stopping early if f returns false.
+	ForEach(f func(index int, count float64) bool)
+
+	// MergeWith adds every bucket of other into this store. The receiver's
+	// collapsing policy, if any, applies to the merged content
+	// (Algorithm 4 of the paper).
+	MergeWith(other Store)
+
+	// Copy returns a deep copy of the store.
+	Copy() Store
+
+	// Clear empties the store, retaining allocated capacity where
+	// possible.
+	Clear()
+
+	// NumBins returns the number of non-empty buckets.
+	NumBins() int
+
+	// SizeBytes estimates the in-memory footprint of the store in bytes,
+	// counting backing arrays, map overhead, and fixed fields.
+	SizeBytes() int
+
+	// Encode appends a self-describing serialization of the store.
+	Encode(w *encoding.Writer)
+}
+
+// Provider constructs empty stores. Sketches use providers so that
+// positive and negative stores, and stores created during decoding or
+// copying, share a configuration.
+type Provider func() Store
+
+// DenseStoreProvider returns a Provider of unbounded DenseStores.
+func DenseStoreProvider() Provider { return func() Store { return NewDenseStore() } }
+
+// CollapsingLowestProvider returns a Provider of
+// CollapsingLowestDenseStores with the given bin limit.
+func CollapsingLowestProvider(maxBins int) Provider {
+	return func() Store { return NewCollapsingLowestDenseStore(maxBins) }
+}
+
+// CollapsingHighestProvider returns a Provider of
+// CollapsingHighestDenseStores with the given bin limit.
+func CollapsingHighestProvider(maxBins int) Provider {
+	return func() Store { return NewCollapsingHighestDenseStore(maxBins) }
+}
+
+// SparseStoreProvider returns a Provider of SparseStores.
+func SparseStoreProvider() Provider { return func() Store { return NewSparseStore() } }
+
+// BufferedPaginatedProvider returns a Provider of BufferedPaginatedStores.
+func BufferedPaginatedProvider() Provider {
+	return func() Store { return NewBufferedPaginatedStore() }
+}
+
+// Store type tags used in the binary encoding.
+const (
+	typeDense             byte = 1
+	typeCollapsingLowest  byte = 2
+	typeCollapsingHighest byte = 3
+	typeSparse            byte = 4
+	typeBufferedPaginated byte = 5
+)
+
+// Decode reads a store previously written by Store.Encode, reconstructing
+// the original concrete type and configuration.
+func Decode(r *encoding.Reader) (Store, error) {
+	tag, err := r.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding type tag: %w", err)
+	}
+	var s Store
+	switch tag {
+	case typeDense:
+		s = NewDenseStore()
+	case typeCollapsingLowest, typeCollapsingHighest:
+		maxBins, err := r.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("store: decoding bin limit: %w", err)
+		}
+		if tag == typeCollapsingLowest {
+			s = NewCollapsingLowestDenseStore(int(maxBins))
+		} else {
+			s = NewCollapsingHighestDenseStore(int(maxBins))
+		}
+	case typeSparse:
+		s = NewSparseStore()
+	case typeBufferedPaginated:
+		s = NewBufferedPaginatedStore()
+	default:
+		return nil, fmt.Errorf("store: type tag %d: %w", tag, ErrUnknownStore)
+	}
+	if err := decodeBins(r, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeBins appends the store's non-empty buckets as a delta-indexed
+// list: a bucket count followed by (index delta, count) pairs.
+func encodeBins(w *encoding.Writer, s Store) {
+	w.Uvarint(uint64(s.NumBins()))
+	prev := 0
+	s.ForEach(func(index int, count float64) bool {
+		w.Varint(int64(index - prev))
+		w.Varfloat64(count)
+		prev = index
+		return true
+	})
+}
+
+// decodeBins reads a bucket list written by encodeBins into s.
+func decodeBins(r *encoding.Reader, s Store) error {
+	n, err := r.Uvarint()
+	if err != nil {
+		return fmt.Errorf("store: decoding bin count: %w", err)
+	}
+	index := 0
+	for i := uint64(0); i < n; i++ {
+		delta, err := r.Varint()
+		if err != nil {
+			return fmt.Errorf("store: decoding bin %d index: %w", i, err)
+		}
+		count, err := r.Varfloat64()
+		if err != nil {
+			return fmt.Errorf("store: decoding bin %d count: %w", i, err)
+		}
+		index += int(delta)
+		s.AddWithCount(index, count)
+	}
+	return nil
+}
+
+// keyAtRankGeneric implements KeyAtRank on top of ForEach for stores
+// without a faster native scan.
+func keyAtRankGeneric(s Store, rank float64) (int, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	cum := 0.0
+	key := 0
+	found := false
+	s.ForEach(func(index int, count float64) bool {
+		cum += count
+		key = index
+		if cum > rank {
+			found = true
+			return false
+		}
+		return true
+	})
+	_ = found // when rank ≥ total count, the highest bucket is returned
+	return key, nil
+}
+
+// keyAtRankDescendingGeneric implements KeyAtRankDescending on top of
+// ForEach for stores without a native backward scan.
+func keyAtRankDescendingGeneric(s Store, rank float64) (int, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmptyStore
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	type bin struct {
+		index int
+		count float64
+	}
+	var bins []bin
+	s.ForEach(func(index int, count float64) bool {
+		bins = append(bins, bin{index, count})
+		return true
+	})
+	cum := 0.0
+	for i := len(bins) - 1; i >= 0; i-- {
+		cum += bins[i].count
+		if cum > rank {
+			return bins[i].index, nil
+		}
+	}
+	return bins[0].index, nil
+}
+
+// mergeGeneric implements MergeWith on top of ForEach and AddWithCount.
+func mergeGeneric(dst, src Store) {
+	src.ForEach(func(index int, count float64) bool {
+		dst.AddWithCount(index, count)
+		return true
+	})
+}
