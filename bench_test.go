@@ -240,6 +240,66 @@ func BenchmarkQuantileQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentAdd measures parallel insertion throughput through
+// the single-mutex Concurrent wrapper: every Add serializes on one lock,
+// so adding writers adds contention, not throughput. Run with
+// -cpu 1,4,8 to see the collapse; BenchmarkShardedAdd is the fix.
+func BenchmarkConcurrentAdd(b *testing.B) {
+	values := datasetValues("span", 4096)
+	s, err := ddsketch.NewCollapsing(harness.DDSketchAlpha, harness.DDSketchMaxBins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := ddsketch.NewConcurrent(s)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = c.Add(values[i&4095])
+			i++
+		}
+	})
+}
+
+// BenchmarkShardedAdd measures parallel insertion throughput through the
+// sharded sketch: writers land on independently-locked shards, so
+// parallel writers proceed mostly without contending. Compare against
+// BenchmarkConcurrentAdd under -cpu 1,4,8.
+func BenchmarkShardedAdd(b *testing.B) {
+	values := datasetValues("span", 4096)
+	proto, err := ddsketch.NewCollapsing(harness.DDSketchAlpha, harness.DDSketchMaxBins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ddsketch.NewSharded(proto, 0)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = s.Add(values[i&4095])
+			i++
+		}
+	})
+}
+
+// BenchmarkShardedQuantile measures the price of merge-on-read: a
+// quantile query against a sharded sketch merges all shards first.
+func BenchmarkShardedQuantile(b *testing.B) {
+	values := datasetValues("span", benchN)
+	proto, err := ddsketch.NewCollapsing(harness.DDSketchAlpha, harness.DDSketchMaxBins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ddsketch.NewSharded(proto, 0)
+	for _, v := range values {
+		_ = s.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Quantile(0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEncode measures sketch serialization, the per-flush cost of
 // the agent workflow in the paper's introduction.
 func BenchmarkEncode(b *testing.B) {

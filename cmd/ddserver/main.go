@@ -1,0 +1,62 @@
+// Command ddserver is a DDSketch aggregation service: the central half
+// of the architecture in §1 of the paper, where a fleet of agents each
+// sketch their local traffic and ship the (fully-mergeable) sketches to
+// an aggregator that answers quantile queries over the combined stream.
+//
+// Ingest goes through a sharded concurrent sketch (no global write
+// lock), which is periodically drained into a ring of time windows, so
+// queries can ask for trailing sub-ranges of recent history.
+//
+// Endpoints:
+//
+//	POST /ingest          body: binary sketch (ddsketch.Encode output)
+//	POST /values          body: whitespace-separated raw values
+//	GET  /quantile?q=0.5,0.99[&window=k]
+//	GET  /stats
+//	GET  /healthz
+//
+// Example:
+//
+//	ddserver -addr :8080 -alpha 0.01 -window 10s -windows 6
+//	curl -s 'localhost:8080/quantile?q=0.99'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
+	flag.Float64Var(&cfg.alpha, "alpha", cfg.alpha, "relative accuracy α of the aggregate sketch")
+	flag.IntVar(&cfg.maxBins, "max-bins", cfg.maxBins, "bucket limit per store (collapsing lowest)")
+	flag.IntVar(&cfg.shards, "shards", cfg.shards, "ingest shard count (0 = auto from GOMAXPROCS)")
+	flag.DurationVar(&cfg.interval, "window", cfg.interval, "duration of one aggregation window")
+	flag.IntVar(&cfg.windows, "windows", cfg.windows, "number of retained windows")
+	flag.Parse()
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddserver:", err)
+		os.Exit(1)
+	}
+
+	// Drain the sharded layer into the current time window at twice the
+	// window frequency, so values land in the window they arrived in.
+	ticker := time.NewTicker(cfg.interval / 2)
+	defer ticker.Stop()
+	stop := make(chan struct{})
+	defer close(stop)
+	go srv.runDrainLoop(ticker.C, stop)
+
+	log.Printf("ddserver listening on %s (α=%g, %d windows × %v)",
+		cfg.addr, cfg.alpha, cfg.windows, cfg.interval)
+	if err := http.ListenAndServe(cfg.addr, srv.handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// maxIngestBytes bounds the size of one POSTed payload. A DDSketch with
+// thousands of buckets encodes to a few tens of kilobytes; a megabyte is
+// far beyond any legitimate sketch or value batch.
+const maxIngestBytes = 1 << 20
+
+// config collects the tunables of the aggregation service.
+type config struct {
+	addr     string
+	alpha    float64       // relative accuracy α of the aggregate sketch
+	maxBins  int           // bin limit per store (collapsing lowest)
+	shards   int           // shard count for the live ingest layer (0 = auto)
+	interval time.Duration // duration of one aggregation window
+	windows  int           // number of retained windows
+	now      func() time.Time
+}
+
+func defaultConfig() config {
+	return config{
+		addr:     ":8080",
+		alpha:    0.01,
+		maxBins:  2048,
+		shards:   0,
+		interval: 10 * time.Second,
+		windows:  6,
+		now:      time.Now,
+	}
+}
+
+// server is the aggregation service: a sharded sketch absorbs concurrent
+// ingest (encoded sketches from agents, or raw values), and a drain folds
+// it into a time-windowed ring from which queries are answered. This is
+// the paper's §1 architecture — agents sketch locally, ship, and the
+// aggregator merges losslessly — made concrete over HTTP.
+type server struct {
+	cfg     config
+	live    *ddsketch.Sharded
+	windows *ddsketch.TimeWindowed
+
+	sketchesIngested atomic.Int64
+	valuesIngested   atomic.Int64
+	started          time.Time
+}
+
+func newServer(cfg config) (*server, error) {
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	proto, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
+	if err != nil {
+		return nil, err
+	}
+	wproto, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
+	if err != nil {
+		return nil, err
+	}
+	windows, err := ddsketch.NewTimeWindowedWithClock(wproto, cfg.interval, cfg.windows, cfg.now)
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		cfg:     cfg,
+		live:    ddsketch.NewSharded(proto, cfg.shards),
+		windows: windows,
+		started: cfg.now(),
+	}, nil
+}
+
+// drain folds everything the sharded layer has absorbed since the last
+// drain into the current time window. It runs before every query (so
+// reads always see all acknowledged writes) and periodically from a
+// ticker (so values are attributed to the window in which they arrived,
+// not the one in which they were first queried).
+func (s *server) drain() {
+	flushed := s.live.Flush()
+	if flushed.IsEmpty() {
+		return
+	}
+	// Same mapping by construction, so the merge cannot fail.
+	_ = s.windows.MergeWith(flushed)
+}
+
+// runDrainLoop drains on every tick until stop is closed. main wires it
+// to a ticker of half the window interval.
+func (s *server) runDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
+	for {
+		select {
+		case <-tick:
+			s.drain()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// handler returns the service's routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/values", s.handleValues)
+	mux.HandleFunc("/quantile", s.handleQuantile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// readBody reads a POST body enforcing maxIngestBytes, writing the
+// error response itself and returning ok=false when the request is
+// unusable.
+func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if len(body) > maxIngestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("payload exceeds %d bytes", maxIngestBytes))
+		return nil, false
+	}
+	return body, true
+}
+
+// handleIngest accepts a binary-encoded sketch (the output of Encode on
+// an agent) and merges it into the live layer.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if err := s.live.DecodeAndMergeWith(body); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ddsketch.ErrIncompatibleSketches) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.sketchesIngested.Add(1)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleValues accepts whitespace-separated raw values, for clients too
+// simple to sketch locally.
+func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	// Sketch the batch locally first, so a payload with a malformed or
+	// unindexable value is rejected atomically rather than half-ingested;
+	// the batch then lands in the live layer as a single exact merge.
+	batch, err := ddsketch.NewCollapsing(s.cfg.alpha, s.cfg.maxBins)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	fields := strings.Fields(string(body))
+	for _, field := range fields {
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing %q: %w", field, err))
+			return
+		}
+		if err := batch.Add(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("value %q: %w", field, err))
+			return
+		}
+	}
+	if err := s.live.MergeWith(batch); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.valuesIngested.Add(int64(len(fields)))
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(fields)})
+}
+
+// quantileResult is one entry of a /quantile response.
+type quantileResult struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+// handleQuantile answers GET /quantile?q=0.5,0.99[&window=k], merging
+// the trailing k windows (default: all retained) on read.
+func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	qParam := r.URL.Query().Get("q")
+	if qParam == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	var qs []float64
+	for _, part := range strings.Split(qParam, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing q %q: %w", part, err))
+			return
+		}
+		qs = append(qs, q)
+	}
+	trailing := s.windows.Windows()
+	if winParam := r.URL.Query().Get("window"); winParam != "" {
+		k, err := strconv.Atoi(winParam)
+		if err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid window %q", winParam))
+			return
+		}
+		// Clamp here (Trailing would clamp anyway) so the response's
+		// "windows" field reports the range actually merged.
+		if k < trailing {
+			trailing = k
+		}
+	}
+	s.drain()
+	snapshot := s.windows.Trailing(trailing)
+	results := make([]quantileResult, 0, len(qs))
+	for _, q := range qs {
+		v, err := snapshot.Quantile(q)
+		switch {
+		case errors.Is(err, ddsketch.ErrEmptySketch):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		results = append(results, quantileResult{Q: q, Value: v})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"quantiles": results,
+		"count":     snapshot.Count(),
+		"windows":   trailing,
+	})
+}
+
+// handleStats reports aggregate statistics and service counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.drain()
+	snapshot := s.windows.Snapshot()
+	stats := map[string]any{
+		"count":             snapshot.Count(),
+		"relative_accuracy": s.live.RelativeAccuracy(),
+		"shards":            s.live.NumShards(),
+		"window_interval":   s.cfg.interval.String(),
+		"windows":           s.windows.Windows(),
+		"sketches_ingested": s.sketchesIngested.Load(),
+		"values_ingested":   s.valuesIngested.Load(),
+		"uptime":            s.cfg.now().Sub(s.started).String(),
+	}
+	if !snapshot.IsEmpty() {
+		min, _ := snapshot.Min()
+		max, _ := snapshot.Max()
+		sum, _ := snapshot.Sum()
+		avg, _ := snapshot.Avg()
+		p50, _ := snapshot.Quantile(0.5)
+		p95, _ := snapshot.Quantile(0.95)
+		p99, _ := snapshot.Quantile(0.99)
+		stats["min"], stats["max"], stats["sum"], stats["avg"] = min, max, sum, avg
+		stats["p50"], stats["p95"], stats["p99"] = p50, p95, p99
+	}
+	writeJSON(w, http.StatusOK, stats)
+}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// testClock is a manually advanced clock shared between the server's
+// window ring and the test.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *testClock, config) {
+	t.Helper()
+	clock := newTestClock()
+	cfg := defaultConfig()
+	cfg.interval = time.Minute
+	cfg.windows = 5
+	cfg.shards = 8
+	cfg.now = clock.Now
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, clock, cfg
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return out
+}
+
+// TestServerEndToEnd is the acceptance scenario: multiple goroutines
+// play agents that sketch locally and POST their encoded sketches, then
+// /quantile answers within the configured relative accuracy of the
+// exact quantile over the combined data.
+func TestServerEndToEnd(t *testing.T) {
+	ts, _, cfg := newTestServer(t)
+
+	const agents, perAgent = 8, 5_000
+	rng := rand.New(rand.NewSource(1))
+	all := make([][]float64, agents)
+	for a := range all {
+		values := make([]float64, perAgent)
+		for i := range values {
+			// Log-normal-ish latencies spanning several orders of magnitude.
+			values[i] = 1e-3 * (1 + 1000*rng.Float64()*rng.Float64())
+		}
+		all[a] = values
+	}
+
+	var wg sync.WaitGroup
+	for _, values := range all {
+		wg.Add(1)
+		go func(values []float64) {
+			defer wg.Done()
+			agent, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, v := range values {
+				if err := agent.Add(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream",
+				bytes.NewReader(agent.Encode()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("POST /ingest: status %d, want %d", resp.StatusCode, http.StatusAccepted)
+			}
+		}(values)
+	}
+	wg.Wait()
+
+	combined := make([]float64, 0, agents*perAgent)
+	for _, values := range all {
+		combined = append(combined, values...)
+	}
+	sort.Float64s(combined)
+
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		out := getJSON(t, fmt.Sprintf("%s/quantile?q=%g", ts.URL, q), http.StatusOK)
+		if got := out["count"].(float64); got != float64(len(combined)) {
+			t.Fatalf("q=%g: count = %g, want %d", q, got, len(combined))
+		}
+		quantiles := out["quantiles"].([]any)
+		est := quantiles[0].(map[string]any)["value"].(float64)
+		exact := combined[int(q*float64(len(combined)-1))]
+		if rel := abs(est-exact) / exact; rel > cfg.alpha+1e-9 {
+			t.Errorf("q=%g: estimate %g vs exact %g: relative error %g exceeds α=%g",
+				q, est, exact, rel, cfg.alpha)
+		}
+	}
+
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["sketches_ingested"].(float64); got != agents {
+		t.Errorf("sketches_ingested = %g, want %d", got, agents)
+	}
+	if got := stats["count"].(float64); got != float64(len(combined)) {
+		t.Errorf("stats count = %g, want %d", got, len(combined))
+	}
+}
+
+func TestServerRawValuesAndWindows(t *testing.T) {
+	ts, clock, _ := newTestServer(t)
+
+	post := func(body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /values: status %d", resp.StatusCode)
+		}
+	}
+
+	// First interval: hundred 1s. A query drains them into the current
+	// window before the rotation.
+	post(strings.Repeat("1 ", 100))
+	out := getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusOK)
+	if got := out["count"].(float64); got != 100 {
+		t.Fatalf("count after first batch = %g, want 100", got)
+	}
+
+	// Second interval: hundred 100s.
+	clock.Advance(time.Minute)
+	post(strings.Repeat("100 ", 100))
+	if out := getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusOK); out["count"].(float64) != 200 {
+		t.Fatalf("count over both windows = %v, want 200", out["count"])
+	}
+
+	// Trailing window=1 sees only the second interval.
+	out = getJSON(t, ts.URL+"/quantile?q=0.5&window=1", http.StatusOK)
+	if got := out["count"].(float64); got != 100 {
+		t.Fatalf("trailing-1 count = %g, want 100", got)
+	}
+	est := out["quantiles"].([]any)[0].(map[string]any)["value"].(float64)
+	if est < 99 || est > 101 {
+		t.Errorf("trailing-1 median = %g, want ≈100", est)
+	}
+
+	// After the whole ring expires, the data is gone.
+	clock.Advance(10 * time.Minute)
+	getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusNotFound)
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _, cfg := newTestServer(t)
+
+	// Garbage sketch payload.
+	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream",
+		strings.NewReader("not a sketch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage /ingest: status %d, want 400", resp.StatusCode)
+	}
+
+	// Incompatible mapping.
+	other, err := ddsketch.New(cfg.alpha * 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = other.Add(1)
+	resp, err = http.Post(ts.URL+"/ingest", "application/octet-stream",
+		bytes.NewReader(other.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("incompatible /ingest: status %d, want 409", resp.StatusCode)
+	}
+
+	// Unparsable values.
+	resp, err = http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1 two 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad /values: status %d, want 400", resp.StatusCode)
+	}
+
+	// Quantile parameter validation.
+	getJSON(t, ts.URL+"/quantile", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/quantile?q=abc", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/quantile?q=0.5&window=x", http.StatusBadRequest)
+	// Empty sketch.
+	getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusNotFound)
+	// Out-of-range quantile on a non-empty sketch.
+	resp, err = http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1 2 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/quantile?q=1.5", http.StatusBadRequest)
+
+	// Wrong methods.
+	for _, c := range []struct{ method, path string }{
+		{http.MethodGet, "/ingest"},
+		{http.MethodGet, "/values"},
+		{http.MethodPost, "/quantile"},
+		{http.MethodPost, "/stats"},
+	} {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerDrainLoop(t *testing.T) {
+	clock := newTestClock()
+	cfg := defaultConfig()
+	cfg.now = clock.Now
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.live.Add(42); err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.runDrainLoop(tick, stop)
+	}()
+	tick <- time.Time{}
+	close(stop)
+	<-done
+	if got := srv.windows.Count(); got != 1 {
+		t.Fatalf("window count after drain tick = %g, want 1", got)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -6,6 +6,11 @@ import "sync"
 // goroutines can record values while others query quantiles — the shape
 // of a metrics agent, where request handlers insert and a flusher
 // periodically serializes and resets.
+//
+// Every operation serializes on a single lock, so write throughput does
+// not scale with additional writers; under heavy parallel insert load,
+// prefer Sharded, which spreads writers across independently-locked
+// shards and merges them exactly on read.
 type Concurrent struct {
 	mu     sync.RWMutex
 	sketch *DDSketch

@@ -33,6 +33,14 @@
 // The sub-packages mapping and store expose the building blocks for
 // custom configurations (faster mappings, sparse stores, …); see
 // NewWithConfig.
+//
+// On top of the plain sketch, the package provides the concurrency and
+// aggregation layers of a production pipeline: Concurrent (one sketch
+// behind one lock), Sharded (lock-striped shards for parallel writers,
+// merged exactly on read), and TimeWindowed (a ring of per-interval
+// sketches answering trailing-window queries). cmd/ddserver assembles
+// them into an HTTP aggregation service consuming encoded sketches from
+// a fleet of agents — the architecture of §1 of the paper.
 package ddsketch
 
 import (
@@ -495,15 +503,9 @@ func (s *DDSketch) ForEach(f func(value, count float64) bool) {
 			return
 		}
 	}
-	stopped := false
 	s.positive.ForEach(func(index int, count float64) bool {
-		if !f(s.mapping.Value(index), count) {
-			stopped = true
-			return false
-		}
-		return true
+		return f(s.mapping.Value(index), count)
 	})
-	_ = stopped
 }
 
 // Reweight multiplies every count in the sketch by w, which must be

@@ -3,6 +3,8 @@ package ddsketch_test
 import (
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"github.com/ddsketch-go/ddsketch"
 	"github.com/ddsketch-go/ddsketch/mapping"
@@ -84,4 +86,58 @@ func ExampleDDSketch_Quantiles() {
 	}
 	fmt.Println(len(values))
 	// Output: 2
+}
+
+func ExampleSharded() {
+	// A sharded sketch absorbs concurrent writers without a global lock;
+	// merge-on-read queries are exact, so sharding costs no accuracy.
+	proto, _ := ddsketch.NewCollapsing(0.01, 2048)
+	sharded := ddsketch.NewSharded(proto, 8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 250; i++ {
+				_ = sharded.Add(float64(w*250 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	median, _ := sharded.Quantile(0.5)
+	fmt.Println(sharded.Count())
+	fmt.Println(median > 495 && median < 505)
+	// Output:
+	// 1000
+	// true
+}
+
+func ExampleTimeWindowed() {
+	// A time-windowed aggregator retains a ring of interval sketches and
+	// answers trailing-window queries by exact merge. The clock is
+	// injectable, so this example drives time by hand.
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+
+	proto, _ := ddsketch.NewCollapsing(0.01, 2048)
+	w, _ := ddsketch.NewTimeWindowedWithClock(proto, time.Minute, 3, clock)
+
+	_ = w.AddWithCount(10, 100) // first minute: hundred 10s
+	now = now.Add(time.Minute)
+	_ = w.AddWithCount(1000, 100) // second minute: hundred 1000s
+
+	overall, _ := w.Quantile(0.5)               // across both intervals
+	lastMinute, _ := w.TrailingQuantile(0.5, 1) // current interval only
+	fmt.Println(overall >= 9.9 && overall <= 10.1)
+	fmt.Println(lastMinute >= 990 && lastMinute <= 1010)
+
+	// Four minutes of silence: everything rotates out of the ring.
+	now = now.Add(4 * time.Minute)
+	fmt.Println(w.IsEmpty())
+	// Output:
+	// true
+	// true
+	// true
 }

@@ -1,0 +1,106 @@
+package ddsketch_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// FuzzDecode asserts that Decode is total over arbitrary input: it
+// either reconstructs a sketch or returns an error wrapping
+// ErrInvalidEncoding (or ErrUnsupportedVersion), and it never panics or
+// over-allocates — corrupted bucket lists are rejected by the store
+// decoder's validation rather than driving the dense stores into huge
+// allocations.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings across the configuration matrix, plus a
+	// few near-valid corruptions.
+	seeds := []func() (*ddsketch.DDSketch, error){
+		func() (*ddsketch.DDSketch, error) { return ddsketch.New(0.01) },
+		func() (*ddsketch.DDSketch, error) { return ddsketch.NewCollapsing(0.01, 512) },
+		func() (*ddsketch.DDSketch, error) { return ddsketch.NewCollapsingHighest(0.02, 256) },
+		func() (*ddsketch.DDSketch, error) { return ddsketch.NewFast(0.01, 512) },
+		func() (*ddsketch.DDSketch, error) { return ddsketch.NewSparse(0.05) },
+		func() (*ddsketch.DDSketch, error) {
+			m, err := mapping.NewCubicallyInterpolated(0.01)
+			if err != nil {
+				return nil, err
+			}
+			return ddsketch.NewWithConfig(m,
+				store.BufferedPaginatedProvider(), store.BufferedPaginatedProvider()), nil
+		},
+	}
+	for _, newSketch := range seeds {
+		s, err := newSketch()
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 1; i <= 100; i++ {
+			_ = s.Add(float64(i))
+			_ = s.Add(-float64(i) / 100)
+		}
+		_ = s.Add(0)
+		data := s.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)/2])  // truncated
+		f.Add(append([]byte{}, 0)) // way too short
+		corrupted := append([]byte(nil), data...)
+		corrupted[len(corrupted)/2] ^= 0xff
+		f.Add(corrupted)
+	}
+	f.Add([]byte("DDS"))             // magic only
+	f.Add([]byte{'D', 'D', 'S', 99}) // unsupported version
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ddsketch.Decode(data)
+		if err != nil {
+			if !errors.Is(err, ddsketch.ErrInvalidEncoding) &&
+				!errors.Is(err, ddsketch.ErrUnsupportedVersion) {
+				t.Fatalf("Decode error %v does not wrap ErrInvalidEncoding or ErrUnsupportedVersion", err)
+			}
+			return
+		}
+		// A successfully decoded sketch must answer basic queries without
+		// panicking, even if the payload was semantically nonsense.
+		_ = s.Count()
+		_ = s.NumBins()
+		if !s.IsEmpty() {
+			_, _ = s.Quantile(0.5)
+		}
+	})
+}
+
+// TestDecodeRejectsHostileBins locks in the decode-time validation: bin
+// lists that no encoder could produce (absurd counts or indexes) fail
+// cleanly instead of allocating gigabytes.
+func TestDecodeRejectsHostileBins(t *testing.T) {
+	valid, err := ddsketch.New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		_ = valid.Add(float64(i))
+	}
+	data := valid.Encode()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)-3] },
+		"bad magic":   func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version": func(b []byte) []byte { b[3] = 42; return b },
+		"bad mapping tag": func(b []byte) []byte {
+			b[4] = 200
+			return b
+		},
+	} {
+		mutated := mutate(append([]byte(nil), data...))
+		if _, err := ddsketch.Decode(mutated); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", name)
+		} else if !errors.Is(err, ddsketch.ErrInvalidEncoding) &&
+			!errors.Is(err, ddsketch.ErrUnsupportedVersion) {
+			t.Errorf("%s: error %v does not wrap a decode sentinel", name, err)
+		}
+	}
+}

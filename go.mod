@@ -1,0 +1,3 @@
+module github.com/ddsketch-go/ddsketch
+
+go 1.24

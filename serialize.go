@@ -78,31 +78,31 @@ func Decode(data []byte) (*DDSketch, error) {
 	}
 	m, err := mapping.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding mapping: %w", err)
+		return nil, fmt.Errorf("%w: decoding mapping: %w", ErrInvalidEncoding, err)
 	}
 	zeroCount, err := r.Varfloat64()
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding zero count: %w", err)
+		return nil, fmt.Errorf("%w: decoding zero count: %w", ErrInvalidEncoding, err)
 	}
 	min, err := r.Varfloat64()
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding min: %w", err)
+		return nil, fmt.Errorf("%w: decoding min: %w", ErrInvalidEncoding, err)
 	}
 	max, err := r.Varfloat64()
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding max: %w", err)
+		return nil, fmt.Errorf("%w: decoding max: %w", ErrInvalidEncoding, err)
 	}
 	sum, err := r.Varfloat64()
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding sum: %w", err)
+		return nil, fmt.Errorf("%w: decoding sum: %w", ErrInvalidEncoding, err)
 	}
 	positive, err := store.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding positive store: %w", err)
+		return nil, fmt.Errorf("%w: decoding positive store: %w", ErrInvalidEncoding, err)
 	}
 	negative, err := store.Decode(r)
 	if err != nil {
-		return nil, fmt.Errorf("ddsketch: decoding negative store: %w", err)
+		return nil, fmt.Errorf("%w: decoding negative store: %w", ErrInvalidEncoding, err)
 	}
 	return &DDSketch{
 		mapping:   m,

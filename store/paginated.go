@@ -235,10 +235,45 @@ func (s *BufferedPaginatedStore) ForEach(f func(index int, count float64) bool) 
 	}
 }
 
-// MergeWith adds every bucket of other into this store.
+// forEachReadOnly visits the store's weight without flushing the
+// insertion buffer: first the paged bins in ascending order, then the
+// buffered unit increments (so an index may be visited twice, with its
+// weight split between the page and the buffer). Merges use it so that
+// a merge source is never mutated — DDSketch.MergeWith promises "other
+// is not modified", and a flush here would race with concurrent readers
+// of the source sketch.
+func (s *BufferedPaginatedStore) forEachReadOnly(f func(index int, count float64) bool) {
+	for pos, page := range s.pages {
+		if page == nil {
+			continue
+		}
+		base := (s.minPageIndex + pos) << pageLenLog2
+		for line, c := range page {
+			if c > 0 {
+				if !f(base+line, c) {
+					return
+				}
+			}
+		}
+	}
+	for _, index := range s.buffer {
+		if !f(index, 1) {
+			return
+		}
+	}
+}
+
+// MergeWith adds every bucket of other into this store. The argument is
+// read-only: its insertion buffer is replayed without being flushed, so
+// merging never mutates the source store.
 func (s *BufferedPaginatedStore) MergeWith(other Store) {
 	if o, ok := other.(*BufferedPaginatedStore); ok {
-		o.flush()
+		buffered := o.buffer
+		if s == o {
+			// Self-merge: replaying the buffer appends to the slice being
+			// iterated; snapshot it first.
+			buffered = append([]int(nil), buffered...)
+		}
 		for pos, page := range o.pages {
 			if page == nil {
 				continue
@@ -251,6 +286,9 @@ func (s *BufferedPaginatedStore) MergeWith(other Store) {
 					s.pagedCount += c
 				}
 			}
+		}
+		for _, index := range buffered {
+			s.Add(index)
 		}
 		return
 	}

@@ -28,6 +28,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/ddsketch-go/ddsketch/encoding"
 )
@@ -39,6 +40,26 @@ var (
 	ErrEmptyStore = errors.New("store: empty store")
 	// ErrUnknownStore is returned when decoding an unrecognized store type.
 	ErrUnknownStore = errors.New("store: unknown store type")
+	// ErrInvalidBins is returned when decoding bin data that no encoder
+	// could have produced: non-positive or non-finite counts, more bins
+	// than the input could possibly hold, or bucket indexes outside the
+	// range any supported mapping can emit.
+	ErrInvalidBins = errors.New("store: invalid bin data")
+)
+
+// Decoding limits. Bucket indexes are produced by index mappings whose
+// magnitude tops out around log(maxFloat64)/log(gamma); even α = 10⁻⁴
+// over the full float64 range stays within ±4·10⁶. Inputs beyond these
+// bounds cannot come from a real sketch, and rejecting them keeps a
+// corrupted (or hostile) payload from forcing the dense and paginated
+// stores into absurd allocations.
+const (
+	// maxDecodedIndexMagnitude bounds each decoded bucket index.
+	maxDecodedIndexMagnitude = 1 << 40
+	// maxDecodedIndexSpan bounds the spread between the lowest and highest
+	// decoded index, which is what dense backing arrays and page
+	// directories scale with.
+	maxDecodedIndexSpan = 1 << 22
 )
 
 // Store is a container of counts keyed by integer bucket index.
@@ -191,13 +212,21 @@ func encodeBins(w *encoding.Writer, s Store) {
 	})
 }
 
-// decodeBins reads a bucket list written by encodeBins into s.
+// decodeBins reads a bucket list written by encodeBins into s, validating
+// the data before touching the store so that corrupted or hostile input
+// fails with ErrInvalidBins instead of driving the store into huge
+// allocations (see the maxDecoded* limits above).
 func decodeBins(r *encoding.Reader, s Store) error {
 	n, err := r.Uvarint()
 	if err != nil {
 		return fmt.Errorf("store: decoding bin count: %w", err)
 	}
-	index := 0
+	// Each bin costs at least two bytes (one varint, one varfloat), so a
+	// count beyond half the remaining input cannot be satisfied.
+	if n > uint64(r.Remaining()/2) {
+		return fmt.Errorf("%w: bin count %d exceeds input size", ErrInvalidBins, n)
+	}
+	var index, minIndex, maxIndex int64
 	for i := uint64(0); i < n; i++ {
 		delta, err := r.Varint()
 		if err != nil {
@@ -207,8 +236,27 @@ func decodeBins(r *encoding.Reader, s Store) error {
 		if err != nil {
 			return fmt.Errorf("store: decoding bin %d count: %w", i, err)
 		}
-		index += int(delta)
-		s.AddWithCount(index, count)
+		index += delta
+		// The identity check also rejects indexes a 32-bit int would
+		// silently truncate, which would otherwise defeat the span bound.
+		if index > maxDecodedIndexMagnitude || index < -maxDecodedIndexMagnitude ||
+			index != int64(int(index)) {
+			return fmt.Errorf("%w: bucket index %d out of range", ErrInvalidBins, index)
+		}
+		if i == 0 {
+			minIndex, maxIndex = index, index
+		} else if index < minIndex {
+			minIndex = index
+		} else if index > maxIndex {
+			maxIndex = index
+		}
+		if maxIndex-minIndex > maxDecodedIndexSpan {
+			return fmt.Errorf("%w: index span [%d, %d] too wide", ErrInvalidBins, minIndex, maxIndex)
+		}
+		if math.IsNaN(count) || math.IsInf(count, 0) || count <= 0 {
+			return fmt.Errorf("%w: bin %d count %v", ErrInvalidBins, i, count)
+		}
+		s.AddWithCount(int(index), count)
 	}
 	return nil
 }
@@ -266,10 +314,25 @@ func keyAtRankDescendingGeneric(s Store, rank float64) (int, error) {
 	return bins[0].index, nil
 }
 
-// mergeGeneric implements MergeWith on top of ForEach and AddWithCount.
+// readOnlySource is implemented by stores whose ForEach has observable
+// side effects (e.g. flushing an insertion buffer), providing a
+// side-effect-free iteration for merges. Visit order is unspecified and
+// an index may be visited more than once with partial counts.
+type readOnlySource interface {
+	forEachReadOnly(f func(index int, count float64) bool)
+}
+
+// mergeGeneric implements MergeWith on top of iteration and
+// AddWithCount, without mutating the source store (the Store.MergeWith
+// contract that DDSketch.MergeWith relies on).
 func mergeGeneric(dst, src Store) {
-	src.ForEach(func(index int, count float64) bool {
+	add := func(index int, count float64) bool {
 		dst.AddWithCount(index, count)
 		return true
-	})
+	}
+	if ro, ok := src.(readOnlySource); ok {
+		ro.forEachReadOnly(add)
+		return
+	}
+	src.ForEach(add)
 }

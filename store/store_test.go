@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -816,5 +817,130 @@ func TestQuickKeyAtRankSymmetry(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBufferedPaginatedMergeDoesNotMutateArgument is the regression test
+// for the MergeWith contract: DDSketch.MergeWith documents that the
+// argument is not modified, but the paginated fast path used to flush
+// the source's insertion buffer — a mutation, and a data race if the
+// source sketch is concurrently read.
+func TestBufferedPaginatedMergeDoesNotMutateArgument(t *testing.T) {
+	src := NewBufferedPaginatedStore()
+	for i := 0; i < 10; i++ {
+		src.Add(i) // unit counts stay in the buffer (well below flush size)
+	}
+	src.AddWithCount(100, 2.5) // non-unit count materializes a page
+	if len(src.buffer) != 10 {
+		t.Fatalf("precondition: buffer holds %d entries, want 10", len(src.buffer))
+	}
+	wantTotal := src.pagedCount
+
+	dst := NewBufferedPaginatedStore()
+	dst.MergeWith(src)
+
+	if len(src.buffer) != 10 {
+		t.Errorf("MergeWith flushed the argument's buffer: %d entries left, want 10", len(src.buffer))
+	}
+	if src.pagedCount != wantTotal {
+		t.Errorf("MergeWith changed the argument's paged count: %g, want %g", src.pagedCount, wantTotal)
+	}
+	if got, want := dst.TotalCount(), src.TotalCount(); got != want {
+		t.Errorf("destination TotalCount = %g, want %g", got, want)
+	}
+	// The merged content must match bucket for bucket.
+	src.flush()
+	dst.flush()
+	srcBins := map[int]float64{}
+	src.ForEach(func(i int, c float64) bool { srcBins[i] = c; return true })
+	dst.ForEach(func(i int, c float64) bool {
+		if srcBins[i] != c {
+			t.Errorf("bucket %d: dst has %g, src has %g", i, c, srcBins[i])
+		}
+		return true
+	})
+}
+
+func TestBufferedPaginatedMergeSelf(t *testing.T) {
+	s := NewBufferedPaginatedStore()
+	for i := 0; i < 5; i++ {
+		s.Add(i)
+	}
+	s.AddWithCount(40, 3)
+	s.MergeWith(s)
+	if got := s.TotalCount(); got != 16 {
+		t.Errorf("self-merge TotalCount = %g, want 16", got)
+	}
+}
+
+// TestDecodeBinsRejectsHostileInput locks in the decode-time validation
+// that keeps corrupted payloads from forcing huge dense allocations.
+func TestDecodeBinsRejectsHostileInput(t *testing.T) {
+	encode := func(build func(w *encoding.Writer)) *encoding.Reader {
+		w := encoding.NewWriter(64)
+		w.Byte(typeDense)
+		build(w)
+		return encoding.NewReader(w.Bytes())
+	}
+	cases := map[string]func(w *encoding.Writer){
+		"bin count exceeds input": func(w *encoding.Writer) {
+			w.Uvarint(1 << 40)
+		},
+		"index span too wide": func(w *encoding.Writer) {
+			w.Uvarint(2)
+			w.Varint(0)
+			w.Varfloat64(1)
+			w.Varint(maxDecodedIndexSpan + 1)
+			w.Varfloat64(1)
+		},
+		"index magnitude too large": func(w *encoding.Writer) {
+			w.Uvarint(1)
+			w.Varint(maxDecodedIndexMagnitude + 1)
+			w.Varfloat64(1)
+		},
+		"negative count": func(w *encoding.Writer) {
+			w.Uvarint(1)
+			w.Varint(3)
+			w.Varfloat64(-1)
+		},
+		"NaN count": func(w *encoding.Writer) {
+			w.Uvarint(1)
+			w.Varint(3)
+			w.Varfloat64(math.NaN())
+		},
+	}
+	for name, build := range cases {
+		if _, err := Decode(encode(build)); !errors.Is(err, ErrInvalidBins) {
+			t.Errorf("%s: got %v, want ErrInvalidBins", name, err)
+		}
+	}
+}
+
+// The no-mutation guarantee must hold on the generic merge path too:
+// merging a buffered paginated source into a *different* store type
+// goes through mergeGeneric, which must not flush the source either.
+func TestMergeGenericDoesNotMutatePaginatedSource(t *testing.T) {
+	src := NewBufferedPaginatedStore()
+	for i := 0; i < 10; i++ {
+		src.Add(i)
+	}
+	src.AddWithCount(100, 2.5)
+	for _, c := range []struct {
+		name string
+		new  func() Store
+	}{
+		{"Dense", func() Store { return NewDenseStore() }},
+		{"CollapsingLowest", func() Store { return NewCollapsingLowestDenseStore(2048) }},
+		{"CollapsingHighest", func() Store { return NewCollapsingHighestDenseStore(2048) }},
+		{"Sparse", func() Store { return NewSparseStore() }},
+	} {
+		dst := c.new()
+		dst.MergeWith(src)
+		if len(src.buffer) != 10 {
+			t.Errorf("%s: MergeWith flushed the source buffer: %d entries left, want 10", c.name, len(src.buffer))
+		}
+		if got, want := dst.TotalCount(), src.TotalCount(); got != want {
+			t.Errorf("%s: destination TotalCount = %g, want %g", c.name, got, want)
+		}
 	}
 }

@@ -1,0 +1,205 @@
+package ddsketch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TimeWindowed aggregates values into a ring of fixed-duration interval
+// sketches and answers quantile queries over the trailing window — the
+// generalization of the paper's introductory agent loop, where an agent
+// sketches an interval's traffic, ships it, and resets. Instead of
+// discarding each interval after shipping, TimeWindowed retains the
+// last `windows` intervals, so queries like "p99 over the last minute"
+// are a merge of the relevant interval sketches (exact, by Algorithm 4).
+//
+// Rotation is O(1): advancing to a new interval moves the ring head and
+// clears the expired sketch in place, reusing its allocated stores. The
+// clock is injectable so tests (and replay pipelines) can drive time
+// deterministically.
+//
+// TimeWindowed is safe for concurrent use; all methods take an internal
+// lock. For very high write concurrency, put a Sharded in front and
+// periodically fold its Flush output into the window via MergeWith —
+// cmd/ddserver wires exactly that.
+type TimeWindowed struct {
+	mu       sync.Mutex
+	interval time.Duration
+	ring     []*DDSketch // ring[head] is the current interval
+	head     int
+	start    time.Time // start of the current interval
+	now      func() time.Time
+	proto    *DDSketch // empty configuration template for merged results
+}
+
+// NewTimeWindowed returns an aggregator keeping `windows` intervals of
+// the given duration, all configured like prototype (which it takes
+// ownership of; any existing content seeds the current interval). It
+// uses the wall clock; see NewTimeWindowedWithClock for a custom one.
+func NewTimeWindowed(prototype *DDSketch, interval time.Duration, windows int) (*TimeWindowed, error) {
+	return NewTimeWindowedWithClock(prototype, interval, windows, time.Now)
+}
+
+// NewTimeWindowedWithClock is NewTimeWindowed with an injectable clock.
+// now must be monotone non-decreasing across calls.
+func NewTimeWindowedWithClock(prototype *DDSketch, interval time.Duration, windows int, now func() time.Time) (*TimeWindowed, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("ddsketch: window interval must be positive, got %v", interval)
+	}
+	if windows < 1 {
+		return nil, fmt.Errorf("ddsketch: window count must be at least 1, got %d", windows)
+	}
+	w := &TimeWindowed{
+		interval: interval,
+		ring:     make([]*DDSketch, windows),
+		now:      now,
+		proto:    prototype.Copy(),
+		start:    now(),
+	}
+	w.proto.Clear()
+	w.ring[0] = prototype
+	for i := 1; i < windows; i++ {
+		w.ring[i] = w.proto.Copy()
+	}
+	return w, nil
+}
+
+// Interval returns the duration of one window slot.
+func (w *TimeWindowed) Interval() time.Duration { return w.interval }
+
+// Windows returns the number of retained interval slots.
+func (w *TimeWindowed) Windows() int { return len(w.ring) }
+
+// advance rotates the ring to the interval containing now. Each step
+// moves the head and clears the sketch being reused; after an idle gap
+// longer than the whole ring, every slot is cleared at most once.
+// Callers must hold w.mu.
+func (w *TimeWindowed) advance() {
+	elapsed := w.now().Sub(w.start)
+	if elapsed < w.interval {
+		return
+	}
+	steps := int64(elapsed / w.interval)
+	w.start = w.start.Add(time.Duration(steps) * w.interval)
+	n := int64(len(w.ring))
+	if steps >= n {
+		// The entire ring expired while idle.
+		for _, s := range w.ring {
+			s.Clear()
+		}
+		return
+	}
+	for ; steps > 0; steps-- {
+		w.head = (w.head + 1) % len(w.ring)
+		w.ring[w.head].Clear()
+	}
+}
+
+// Add inserts a value into the current interval.
+func (w *TimeWindowed) Add(value float64) error { return w.AddWithCount(value, 1) }
+
+// AddWithCount inserts a value with the given weight into the current
+// interval.
+func (w *TimeWindowed) AddWithCount(value, count float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	return w.ring[w.head].AddWithCount(value, count)
+}
+
+// MergeWith folds other into the current interval — the aggregator-side
+// half of the agent workflow, attributing an arriving sketch to the
+// interval in which it arrived. other is not modified.
+func (w *TimeWindowed) MergeWith(other *DDSketch) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	return w.ring[w.head].MergeWith(other)
+}
+
+// DecodeAndMergeWith decodes a serialized sketch and folds it into the
+// current interval. Decoding happens outside the lock.
+func (w *TimeWindowed) DecodeAndMergeWith(data []byte) error {
+	other, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	return w.MergeWith(other)
+}
+
+// Trailing returns a merged deep copy of the last k intervals, newest
+// first from the current one. k is clamped to [1, Windows()]. The copy
+// is independent of the ring: callers can query or encode it without
+// holding up writers.
+func (w *TimeWindowed) Trailing(k int) *DDSketch {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(w.ring) {
+		k = len(w.ring)
+	}
+	merged := w.proto.Copy()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	for i := 0; i < k; i++ {
+		slot := (w.head - i + len(w.ring)) % len(w.ring)
+		_ = merged.MergeWith(w.ring[slot]) // same mapping by construction
+	}
+	return merged
+}
+
+// Snapshot returns a merged deep copy of every retained interval.
+func (w *TimeWindowed) Snapshot() *DDSketch { return w.Trailing(len(w.ring)) }
+
+// Quantile returns an α-accurate estimate of the q-quantile over all
+// retained intervals.
+func (w *TimeWindowed) Quantile(q float64) (float64, error) {
+	return w.Snapshot().Quantile(q)
+}
+
+// TrailingQuantile returns an α-accurate estimate of the q-quantile
+// over the last k intervals.
+func (w *TimeWindowed) TrailingQuantile(q float64, k int) (float64, error) {
+	return w.Trailing(k).Quantile(q)
+}
+
+// Quantiles returns α-accurate estimates for each of the given
+// quantiles over all retained intervals, computed against one snapshot.
+func (w *TimeWindowed) Quantiles(qs []float64) ([]float64, error) {
+	return w.Snapshot().Quantiles(qs)
+}
+
+// Count returns the total weight across all retained intervals.
+func (w *TimeWindowed) Count() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	total := 0.0
+	for _, s := range w.ring {
+		total += s.Count()
+	}
+	return total
+}
+
+// IsEmpty reports whether no retained interval holds any values.
+func (w *TimeWindowed) IsEmpty() bool { return w.Count() <= 0 }
+
+// Clear empties every interval and restarts the current one at the
+// clock's present reading.
+func (w *TimeWindowed) Clear() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.ring {
+		s.Clear()
+	}
+	w.head = 0
+	w.start = w.now()
+}
+
+// String implements fmt.Stringer.
+func (w *TimeWindowed) String() string {
+	return fmt.Sprintf("TimeWindowed(interval=%v, windows=%d, count=%g)",
+		w.interval, len(w.ring), w.Count())
+}

@@ -1,0 +1,235 @@
+package ddsketch_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// fakeClock is a manually advanced clock for deterministic window tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newWindowedForTest(t *testing.T, interval time.Duration, windows int) (*ddsketch.TimeWindowed, *fakeClock) {
+	t.Helper()
+	proto, err := ddsketch.NewCollapsing(0.01, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	w, err := ddsketch.NewTimeWindowedWithClock(proto, interval, windows, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, clock
+}
+
+func TestTimeWindowedValidation(t *testing.T) {
+	proto, err := ddsketch.NewCollapsing(0.01, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ddsketch.NewTimeWindowed(proto, 0, 3); err == nil {
+		t.Error("interval 0: want error")
+	}
+	if _, err := ddsketch.NewTimeWindowed(proto, time.Second, 0); err == nil {
+		t.Error("windows 0: want error")
+	}
+}
+
+func TestTimeWindowedRotation(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Minute, 3)
+
+	// Interval 1: hundred 1s. Interval 2: hundred 10s. Interval 3:
+	// hundred 100s.
+	for _, v := range []float64{1, 10, 100} {
+		for i := 0; i < 100; i++ {
+			if err := w.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clock.Advance(time.Minute)
+	}
+	// The clock has advanced past the third interval, so the current
+	// (empty) interval plus the last two full ones are retained; the 1s
+	// have expired.
+	if got := w.Count(); got != 200 {
+		t.Fatalf("Count after 3 intervals + rotation = %g, want 200", got)
+	}
+	med, err := w.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 9 || med > 101 {
+		t.Errorf("median over [10s, 100s] = %g, want within [10, 100]", med)
+	}
+
+	// Trailing(1) is the current, still-empty interval.
+	if got := w.Trailing(1).Count(); got != 0 {
+		t.Errorf("Trailing(1).Count = %g, want 0 (fresh interval)", got)
+	}
+	// Trailing(2) covers the 100s only.
+	p, err := w.TrailingQuantile(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 99 || p > 101 {
+		t.Errorf("TrailingQuantile(0.5, 2) = %g, want ≈100", p)
+	}
+}
+
+func TestTimeWindowedIdleExpiry(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Second, 4)
+	for i := 0; i < 100; i++ {
+		if err := w.Add(42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Count(); got != 100 {
+		t.Fatalf("Count = %g, want 100", got)
+	}
+	// An idle gap longer than the whole ring expires everything.
+	clock.Advance(10 * time.Second)
+	if !w.IsEmpty() {
+		t.Fatalf("after idle gap: Count = %g, want 0", w.Count())
+	}
+	// The ring keeps working after the mass expiry.
+	if err := w.Add(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != 1 {
+		t.Fatalf("Count after re-adding = %g, want 1", got)
+	}
+}
+
+func TestTimeWindowedPartialRotationKeepsRecent(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Second, 4)
+	// Fill four consecutive intervals with distinguishable values.
+	for i := 0; i < 4; i++ {
+		if err := w.AddWithCount(float64(i+1), 10); err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			clock.Advance(time.Second)
+		}
+	}
+	if got := w.Count(); got != 40 {
+		t.Fatalf("Count with full ring = %g, want 40", got)
+	}
+	// Two more intervals pass: the two oldest (values 1 and 2) expire.
+	clock.Advance(2 * time.Second)
+	if got := w.Count(); got != 20 {
+		t.Fatalf("Count after two rotations = %g, want 20", got)
+	}
+	min, err := w.Snapshot().Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 3 {
+		t.Errorf("Min after expiry = %g, want 3", min)
+	}
+}
+
+func TestTimeWindowedMerge(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Minute, 2)
+	agent, err := ddsketch.NewCollapsing(0.01, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := agent.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.MergeWith(agent); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DecodeAndMergeWith(agent.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != 200 {
+		t.Fatalf("Count after merges = %g, want 200", got)
+	}
+	// The argument must be untouched.
+	if got := agent.Count(); got != 100 {
+		t.Fatalf("merge argument Count = %g, want 100", got)
+	}
+	// Incompatible mappings are rejected.
+	other, err := ddsketch.New(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MergeWith(other); !errors.Is(err, ddsketch.ErrIncompatibleSketches) {
+		t.Fatalf("MergeWith(different mapping): got %v, want ErrIncompatibleSketches", err)
+	}
+	// Merged content rotates out like directly added content.
+	clock.Advance(3 * time.Minute)
+	if !w.IsEmpty() {
+		t.Errorf("after expiry: Count = %g, want 0", w.Count())
+	}
+}
+
+func TestTimeWindowedClear(t *testing.T) {
+	w, _ := newWindowedForTest(t, time.Second, 3)
+	for i := 0; i < 10; i++ {
+		if err := w.Add(float64(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Clear()
+	if !w.IsEmpty() {
+		t.Error("not empty after Clear")
+	}
+	if _, err := w.Quantile(0.5); !errors.Is(err, ddsketch.ErrEmptySketch) {
+		t.Errorf("Quantile after Clear: got %v, want ErrEmptySketch", err)
+	}
+}
+
+func TestTimeWindowedConcurrent(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if err := w.Add(float64(i%100 + 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			clock.Advance(time.Millisecond / 4)
+			_, _ = w.Quantile(0.9)
+			_ = w.Count()
+		}
+	}()
+	wg.Wait()
+	<-done
+}
