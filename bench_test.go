@@ -300,6 +300,46 @@ func BenchmarkShardedQuantile(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedSummary documents the merge-once win of the Summary
+// API: reading count, sum, min, max, avg, and three quantiles off a
+// sharded sketch costs one shard-merge pass via Summary, but one merge
+// pass *per quantile* via naive independent query calls.
+func BenchmarkShardedSummary(b *testing.B) {
+	values := datasetValues("span", benchN)
+	proto, err := ddsketch.NewCollapsing(harness.DDSketchAlpha, harness.DDSketchMaxBins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ddsketch.NewSharded(proto, 0)
+	for _, v := range values {
+		_ = s.Add(v)
+	}
+	qs := []float64{0.5, 0.95, 0.99}
+
+	b.Run("Summary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Summary(qs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaivePerQueryReads", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := s.Quantile(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, query := range []func() (float64, error){s.Sum, s.Min, s.Max, s.Avg} {
+				if _, err := query(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = s.Count()
+		}
+	})
+}
+
 // BenchmarkEncode measures sketch serialization, the per-flush cost of
 // the agent workflow in the paper's introduction.
 func BenchmarkEncode(b *testing.B) {

@@ -3,22 +3,27 @@
 // sketch their local traffic and ship the (fully-mergeable) sketches to
 // an aggregator that answers quantile queries over the combined stream.
 //
-// Ingest goes through a sharded concurrent sketch (no global write
-// lock), which is periodically drained into a ring of time windows, so
-// queries can ask for trailing sub-ranges of recent history.
+// The aggregate is a ddsketch.WindowedSharded (built with
+// ddsketch.NewSketch options): ingest goes through a sharded concurrent
+// sketch (no global write lock), which is periodically drained into a
+// ring of time windows, so queries can ask for trailing sub-ranges of
+// recent history. Multi-statistic reads (/summary, multi-q /quantile,
+// /stats) merge the shards and ring exactly once per request.
 //
 // Endpoints:
 //
 //	POST /ingest          body: binary sketch (ddsketch.Encode output)
 //	POST /values          body: whitespace-separated raw values
 //	GET  /quantile?q=0.5,0.99[&window=k]
+//	GET  /summary[?q=0.5,0.9,0.99][&window=k]
 //	GET  /stats
 //	GET  /healthz
 //
 // Example:
 //
 //	ddserver -addr :8080 -alpha 0.01 -window 10s -windows 6
-//	curl -s 'localhost:8080/quantile?q=0.99'
+//	curl -s 'localhost:8080/quantile?q=0.5,0.99'
+//	curl -s 'localhost:8080/summary'
 package main
 
 import (

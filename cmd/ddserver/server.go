@@ -42,15 +42,16 @@ func defaultConfig() config {
 	}
 }
 
-// server is the aggregation service: a sharded sketch absorbs concurrent
-// ingest (encoded sketches from agents, or raw values), and a drain folds
-// it into a time-windowed ring from which queries are answered. This is
-// the paper's §1 architecture — agents sketch locally, ship, and the
-// aggregator merges losslessly — made concrete over HTTP.
+// server is the aggregation service: a ddsketch.WindowedSharded — a
+// sharded sketch absorbing concurrent ingest (encoded sketches from
+// agents, or raw values), drained into a time-windowed ring from which
+// queries are answered. This is the paper's §1 architecture — agents
+// sketch locally, ship, and the aggregator merges losslessly — made
+// concrete over HTTP. The sketch layering itself lives in the library;
+// the server is the thin HTTP skin over it.
 type server struct {
-	cfg     config
-	live    *ddsketch.Sharded
-	windows *ddsketch.TimeWindowed
+	cfg config
+	agg *ddsketch.WindowedSharded
 
 	sketchesIngested atomic.Int64
 	valuesIngested   atomic.Int64
@@ -61,47 +62,34 @@ func newServer(cfg config) (*server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	proto, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
-	if err != nil {
-		return nil, err
-	}
-	wproto, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
-	if err != nil {
-		return nil, err
-	}
-	windows, err := ddsketch.NewTimeWindowedWithClock(wproto, cfg.interval, cfg.windows, cfg.now)
+	sketch, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(cfg.alpha),
+		ddsketch.WithMaxBins(cfg.maxBins),
+		ddsketch.WithSharding(cfg.shards),
+		ddsketch.WithWindow(cfg.interval, cfg.windows),
+		ddsketch.WithClock(cfg.now),
+	)
 	if err != nil {
 		return nil, err
 	}
 	return &server{
 		cfg:     cfg,
-		live:    ddsketch.NewSharded(proto, cfg.shards),
-		windows: windows,
+		agg:     sketch.(*ddsketch.WindowedSharded),
 		started: cfg.now(),
 	}, nil
 }
 
-// drain folds everything the sharded layer has absorbed since the last
-// drain into the current time window. It runs before every query (so
-// reads always see all acknowledged writes) and periodically from a
-// ticker (so values are attributed to the window in which they arrived,
-// not the one in which they were first queried).
-func (s *server) drain() {
-	flushed := s.live.Flush()
-	if flushed.IsEmpty() {
-		return
-	}
-	// Same mapping by construction, so the merge cannot fail.
-	_ = s.windows.MergeWith(flushed)
-}
-
-// runDrainLoop drains on every tick until stop is closed. main wires it
-// to a ticker of half the window interval.
+// runDrainLoop drains the sharded layer into the current time window on
+// every tick until stop is closed, so values are attributed to the
+// window in which they arrived, not the one in which they were first
+// queried. (Queries drain on their own, so reads always see all
+// acknowledged writes.) main wires this to a ticker of half the window
+// interval.
 func (s *server) runDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
 	for {
 		select {
 		case <-tick:
-			s.drain()
+			s.agg.Drain()
 		case <-stop:
 			return
 		}
@@ -114,6 +102,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/values", s.handleValues)
 	mux.HandleFunc("/quantile", s.handleQuantile)
+	mux.HandleFunc("/summary", s.handleSummary)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -161,7 +150,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.live.DecodeAndMergeWith(body); err != nil {
+	if err := s.agg.DecodeAndMergeWith(body); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ddsketch.ErrIncompatibleSketches) {
 			status = http.StatusConflict
@@ -200,7 +189,7 @@ func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.live.MergeWith(batch); err != nil {
+	if err := s.agg.MergeWith(batch); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -214,8 +203,41 @@ type quantileResult struct {
 	Value float64 `json:"value"`
 }
 
+// parseQuantiles parses a comma-separated q list ("0.5,0.9,0.99").
+func parseQuantiles(qParam string) ([]float64, error) {
+	var qs []float64
+	for _, part := range strings.Split(qParam, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing q %q: %w", part, err)
+		}
+		qs = append(qs, q)
+	}
+	return qs, nil
+}
+
+// parseWindow parses the optional window=k parameter, clamped to the
+// retained window count (so responses report the range actually
+// merged). Absent means all retained windows.
+func (s *server) parseWindow(r *http.Request) (int, error) {
+	trailing := s.agg.Windows()
+	winParam := r.URL.Query().Get("window")
+	if winParam == "" {
+		return trailing, nil
+	}
+	k, err := strconv.Atoi(winParam)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("invalid window %q", winParam)
+	}
+	if k < trailing {
+		trailing = k
+	}
+	return trailing, nil
+}
+
 // handleQuantile answers GET /quantile?q=0.5,0.99[&window=k], merging
-// the trailing k windows (default: all retained) on read.
+// the trailing k windows (default: all retained) exactly once and
+// serving every requested quantile from that one merged snapshot.
 func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
@@ -226,42 +248,29 @@ func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
-	var qs []float64
-	for _, part := range strings.Split(qParam, ",") {
-		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing q %q: %w", part, err))
-			return
-		}
-		qs = append(qs, q)
+	qs, err := parseQuantiles(qParam)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	trailing := s.windows.Windows()
-	if winParam := r.URL.Query().Get("window"); winParam != "" {
-		k, err := strconv.Atoi(winParam)
-		if err != nil || k < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid window %q", winParam))
-			return
-		}
-		// Clamp here (Trailing would clamp anyway) so the response's
-		// "windows" field reports the range actually merged.
-		if k < trailing {
-			trailing = k
-		}
+	trailing, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	s.drain()
-	snapshot := s.windows.Trailing(trailing)
-	results := make([]quantileResult, 0, len(qs))
-	for _, q := range qs {
-		v, err := snapshot.Quantile(q)
-		switch {
-		case errors.Is(err, ddsketch.ErrEmptySketch):
-			writeError(w, http.StatusNotFound, err)
-			return
-		case err != nil:
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		results = append(results, quantileResult{Q: q, Value: v})
+	snapshot := s.agg.Trailing(trailing)
+	values, err := snapshot.Quantiles(qs)
+	switch {
+	case errors.Is(err, ddsketch.ErrEmptySketch):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := make([]quantileResult, len(qs))
+	for i, q := range qs {
+		results[i] = quantileResult{Q: q, Value: values[i]}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"quantiles": results,
@@ -270,34 +279,72 @@ func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports aggregate statistics and service counters.
+// defaultSummaryQuantiles are served by /summary when no q is given.
+var defaultSummaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// handleSummary answers GET /summary[?q=0.5,0.9,0.99][&window=k]: the
+// full Summary (count, sum, min, max, avg, quantiles) over the trailing
+// k windows in exactly one merge pass.
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	qs := defaultSummaryQuantiles
+	if qParam := r.URL.Query().Get("q"); qParam != "" {
+		var err error
+		qs, err = parseQuantiles(qParam)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	trailing, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	summary, err := s.agg.TrailingSummary(trailing, qs...)
+	switch {
+	case errors.Is(err, ddsketch.ErrEmptySketch):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary": summary,
+		"windows": trailing,
+	})
+}
+
+// handleStats reports aggregate statistics and service counters, reading
+// the aggregate in a single Summary pass.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.drain()
-	snapshot := s.windows.Snapshot()
 	stats := map[string]any{
-		"count":             snapshot.Count(),
-		"relative_accuracy": s.live.RelativeAccuracy(),
-		"shards":            s.live.NumShards(),
+		"relative_accuracy": s.agg.RelativeAccuracy(),
+		"shards":            s.agg.NumShards(),
 		"window_interval":   s.cfg.interval.String(),
-		"windows":           s.windows.Windows(),
+		"windows":           s.agg.Windows(),
 		"sketches_ingested": s.sketchesIngested.Load(),
 		"values_ingested":   s.valuesIngested.Load(),
 		"uptime":            s.cfg.now().Sub(s.started).String(),
 	}
-	if !snapshot.IsEmpty() {
-		min, _ := snapshot.Min()
-		max, _ := snapshot.Max()
-		sum, _ := snapshot.Sum()
-		avg, _ := snapshot.Avg()
-		p50, _ := snapshot.Quantile(0.5)
-		p95, _ := snapshot.Quantile(0.95)
-		p99, _ := snapshot.Quantile(0.99)
-		stats["min"], stats["max"], stats["sum"], stats["avg"] = min, max, sum, avg
-		stats["p50"], stats["p95"], stats["p99"] = p50, p95, p99
+	summary, err := s.agg.Summary(0.5, 0.95, 0.99)
+	if err == nil {
+		stats["count"] = summary.Count
+		stats["min"], stats["max"] = summary.Min, summary.Max
+		stats["sum"], stats["avg"] = summary.Sum, summary.Avg
+		stats["p50"] = summary.Quantiles[0].Value
+		stats["p95"] = summary.Quantiles[1].Value
+		stats["p99"] = summary.Quantiles[2].Value
+	} else {
+		stats["count"] = 0.0
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

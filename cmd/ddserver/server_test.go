@@ -280,7 +280,7 @@ func TestServerDrainLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.live.Add(42); err != nil {
+	if err := srv.agg.Add(42); err != nil {
 		t.Fatal(err)
 	}
 	tick := make(chan time.Time)
@@ -293,8 +293,116 @@ func TestServerDrainLoop(t *testing.T) {
 	tick <- time.Time{}
 	close(stop)
 	<-done
-	if got := srv.windows.Count(); got != 1 {
-		t.Fatalf("window count after drain tick = %g, want 1", got)
+	// The tick drained the value into the then-current window, so
+	// expiring the whole ring leaves nothing behind. Had the drain loop
+	// not run, Count's own drain would attribute the value to the *new*
+	// current window and still report 1.
+	clock.Advance(time.Duration(cfg.windows+1) * cfg.interval)
+	if got := srv.agg.Count(); got != 0 {
+		t.Fatalf("count after expiring all windows = %g, want 0 (tick did not drain)", got)
+	}
+}
+
+// TestServerQuantileList exercises the comma-separated q list: one
+// request, one merge, every requested quantile answered in order.
+func TestServerQuantileList(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	var body strings.Builder
+	for i := 1; i <= 1000; i++ {
+		fmt.Fprintf(&body, "%d ", i)
+	}
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := getJSON(t, ts.URL+"/quantile?q=0.5,0.9,0.99", http.StatusOK)
+	quantiles := out["quantiles"].([]any)
+	if len(quantiles) != 3 {
+		t.Fatalf("got %d quantile entries, want 3", len(quantiles))
+	}
+	for i, want := range []struct{ q, value float64 }{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		entry := quantiles[i].(map[string]any)
+		if got := entry["q"].(float64); got != want.q {
+			t.Errorf("entry %d: q = %g, want %g", i, got, want.q)
+		}
+		est := entry["value"].(float64)
+		if rel := abs(est-want.value) / want.value; rel > 0.011 {
+			t.Errorf("q=%g: estimate %g vs ≈%g: relative error %g", want.q, est, want.value, rel)
+		}
+	}
+}
+
+// TestServerSummary exercises GET /summary: the full one-merge-pass
+// Summary, default and custom quantiles, the window parameter, and the
+// empty-sketch 404.
+func TestServerSummary(t *testing.T) {
+	ts, clock, _ := newTestServer(t)
+
+	getJSON(t, ts.URL+"/summary", http.StatusNotFound)
+	getJSON(t, ts.URL+"/summary?q=abc", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/summary?window=0", http.StatusBadRequest)
+
+	var body strings.Builder
+	for i := 1; i <= 1000; i++ {
+		fmt.Fprintf(&body, "%d ", i)
+	}
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := getJSON(t, ts.URL+"/summary", http.StatusOK)
+	summary := out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 1000 {
+		t.Errorf("count = %g, want 1000", got)
+	}
+	if got := summary["min"].(float64); got != 1 {
+		t.Errorf("min = %g, want 1", got)
+	}
+	if got := summary["max"].(float64); got != 1000 {
+		t.Errorf("max = %g, want 1000", got)
+	}
+	if got := summary["sum"].(float64); got != 500500 {
+		t.Errorf("sum = %g, want 500500", got)
+	}
+	if got := summary["avg"].(float64); got != 500.5 {
+		t.Errorf("avg = %g, want 500.5", got)
+	}
+	if got := len(summary["quantiles"].([]any)); got != len(defaultSummaryQuantiles) {
+		t.Errorf("default quantile entries = %d, want %d", got, len(defaultSummaryQuantiles))
+	}
+
+	// Caller-chosen quantiles.
+	out = getJSON(t, ts.URL+"/summary?q=0.25,0.75", http.StatusOK)
+	quantiles := out["summary"].(map[string]any)["quantiles"].([]any)
+	if len(quantiles) != 2 {
+		t.Fatalf("got %d quantile entries, want 2", len(quantiles))
+	}
+	for i, want := range []float64{250, 750} {
+		est := quantiles[i].(map[string]any)["value"].(float64)
+		if rel := abs(est-want) / want; rel > 0.011 {
+			t.Errorf("custom q %d: estimate %g vs ≈%g: relative error %g", i, est, want, rel)
+		}
+	}
+
+	// A second interval; window=1 summarizes only it.
+	clock.Advance(time.Minute)
+	resp, err = http.Post(ts.URL+"/values", "text/plain", strings.NewReader("5 5 5 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out = getJSON(t, ts.URL+"/summary?window=1", http.StatusOK)
+	summary = out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 4 {
+		t.Errorf("trailing-1 count = %g, want 4", got)
+	}
+	if got := out["windows"].(float64); got != 1 {
+		t.Errorf("windows = %g, want 1", got)
 	}
 }
 

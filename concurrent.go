@@ -103,11 +103,37 @@ func (c *Concurrent) Avg() (float64, error) {
 	return c.sketch.Avg()
 }
 
+// Summary returns count, sum, min, max, avg, and the requested
+// quantiles, all read under one lock acquisition.
+func (c *Concurrent) Summary(qs ...float64) (Summary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.summarize(qs)
+}
+
+// CDF returns an estimate of the fraction of inserted values that are
+// less than or equal to value.
+func (c *Concurrent) CDF(value float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.CDF(value)
+}
+
 // MergeWith folds other into the wrapped sketch.
 func (c *Concurrent) MergeWith(other *DDSketch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sketch.MergeWith(other)
+}
+
+// DecodeAndMergeWith decodes a serialized sketch and folds it into the
+// wrapped sketch. Decoding happens outside the lock.
+func (c *Concurrent) DecodeAndMergeWith(data []byte) error {
+	other, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	return c.MergeWith(other)
 }
 
 // Snapshot returns a deep copy of the wrapped sketch, for lock-free
@@ -134,4 +160,12 @@ func (c *Concurrent) Encode() []byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sketch.Encode()
+}
+
+// Clear empties the wrapped sketch, keeping its configuration and
+// allocated capacity.
+func (c *Concurrent) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sketch.Clear()
 }

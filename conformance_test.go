@@ -1,0 +1,579 @@
+// Conformance suite: the same behavioral assertions — accuracy within
+// α, merge equivalence, clear semantics, encode/decode round-trips,
+// Quantiles/Summary consistency — run against every Sketch
+// implementation, plus a merge-count probe asserting that one-pass
+// reads really merge once.
+package ddsketch_test
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// Compile-time conformance checks: every variant implements Sketch.
+var (
+	_ ddsketch.Sketch = (*ddsketch.DDSketch)(nil)
+	_ ddsketch.Sketch = (*ddsketch.Concurrent)(nil)
+	_ ddsketch.Sketch = (*ddsketch.Sharded)(nil)
+	_ ddsketch.Sketch = (*ddsketch.TimeWindowed)(nil)
+	_ ddsketch.Sketch = (*ddsketch.WindowedSharded)(nil)
+)
+
+const (
+	confAlpha   = 0.01
+	confMaxBins = 2048
+	confN       = 20_000
+)
+
+// conformanceVariants returns a freshly-constructed sketch of every
+// variant, all built through NewSketch with the same accuracy and bin
+// budget. The windowed variants use a fixed clock, so nothing rotates
+// away during a test.
+func conformanceVariants(t *testing.T) map[string]ddsketch.Sketch {
+	t.Helper()
+	clock := newFakeClock()
+	build := func(opts ...ddsketch.Option) ddsketch.Sketch {
+		t.Helper()
+		opts = append([]ddsketch.Option{
+			ddsketch.WithRelativeAccuracy(confAlpha),
+			ddsketch.WithMaxBins(confMaxBins),
+		}, opts...)
+		s, err := ddsketch.NewSketch(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return map[string]ddsketch.Sketch{
+		"DDSketch":   build(),
+		"Concurrent": build(ddsketch.WithMutex()),
+		"Sharded":    build(ddsketch.WithSharding(8)),
+		"TimeWindowed": build(
+			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
+		"WindowedSharded": build(
+			ddsketch.WithSharding(8),
+			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
+	}
+}
+
+func confValues() []float64 {
+	return datagen.ByName("pareto", confN)
+}
+
+func fillAll(t *testing.T, s ddsketch.Sketch, values []float64) {
+	t.Helper()
+	for _, v := range values {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConformanceAccuracy: every variant answers quantiles within the
+// relative-accuracy guarantee of the paper's Proposition 3.
+func TestConformanceAccuracy(t *testing.T) {
+	values := confValues()
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			if got := s.Count(); got != confN {
+				t.Fatalf("Count = %g, want %d", got, confN)
+			}
+			for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+				est, err := s.Quantile(q)
+				if err != nil {
+					t.Fatalf("Quantile(%g): %v", q, err)
+				}
+				truth := exact.Quantile(sorted, q)
+				if rel := exact.RelativeError(est, truth); rel > confAlpha+1e-9 {
+					t.Errorf("q=%g: estimate %g vs exact %g: relative error %g exceeds α=%g",
+						q, est, truth, rel, confAlpha)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceMergeEquivalence: folding half the data in via
+// MergeWith (and via DecodeAndMergeWith) answers exactly as a single
+// sketch of the combined data — the paper's full mergeability (§2.3).
+func TestConformanceMergeEquivalence(t *testing.T) {
+	values := confValues()
+	half := ddsketchOf(t, values[confN/2:])
+	reference := ddsketchOf(t, values)
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 1}
+	want, err := reference.Quantiles(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values[:confN/2])
+			if err := s.MergeWith(half); err != nil {
+				t.Fatalf("MergeWith: %v", err)
+			}
+			got, err := s.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				if got[i] != want[i] {
+					t.Errorf("q=%g: merged %g != single-sketch %g", q, got[i], want[i])
+				}
+			}
+			sum, err := s.Sum()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSum, _ := reference.Sum()
+			if rel := math.Abs(sum-refSum) / math.Abs(refSum); rel > 1e-9 {
+				t.Errorf("Sum = %g, want %g (rel %g)", sum, refSum, rel)
+			}
+
+			// Same equivalence through the wire format.
+			wire := conformanceVariants(t)[name]
+			fillAll(t, wire, values[:confN/2])
+			if err := wire.DecodeAndMergeWith(half.Encode()); err != nil {
+				t.Fatalf("DecodeAndMergeWith: %v", err)
+			}
+			got, err = wire.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				if got[i] != want[i] {
+					t.Errorf("q=%g: decode-merged %g != single-sketch %g", q, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func ddsketchOf(t *testing.T, values []float64) *ddsketch.DDSketch {
+	t.Helper()
+	s, err := ddsketch.NewCollapsing(confAlpha, confMaxBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestConformanceClearSemantics: Clear empties the sketch, queries on
+// the emptied sketch fail with ErrEmptySketch, and the sketch remains
+// usable afterwards.
+func TestConformanceClearSemantics(t *testing.T) {
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, confValues()[:1000])
+			s.Clear()
+			if !s.IsEmpty() {
+				t.Fatal("IsEmpty after Clear = false")
+			}
+			if got := s.Count(); got != 0 {
+				t.Fatalf("Count after Clear = %g", got)
+			}
+			if _, err := s.Quantile(0.5); !errors.Is(err, ddsketch.ErrEmptySketch) {
+				t.Errorf("Quantile after Clear: err = %v, want ErrEmptySketch", err)
+			}
+			for fn, query := range map[string]func() (float64, error){
+				"Sum": s.Sum, "Min": s.Min, "Max": s.Max, "Avg": s.Avg,
+			} {
+				if _, err := query(); !errors.Is(err, ddsketch.ErrEmptySketch) {
+					t.Errorf("%s after Clear: err = %v, want ErrEmptySketch", fn, err)
+				}
+			}
+			if _, err := s.Summary(0.5); !errors.Is(err, ddsketch.ErrEmptySketch) {
+				t.Errorf("Summary after Clear: err = %v, want ErrEmptySketch", err)
+			}
+
+			// Still usable.
+			if err := s.Add(7); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Count(); got != 1 {
+				t.Fatalf("Count after re-Add = %g, want 1", got)
+			}
+			est, err := s.Quantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est-7)/7 > confAlpha {
+				t.Errorf("median after re-Add = %g, want ≈7", est)
+			}
+		})
+	}
+}
+
+// TestConformanceEncodeDecodeRoundTrip: Encode on any variant yields a
+// payload Decode reconstructs losslessly.
+func TestConformanceEncodeDecodeRoundTrip(t *testing.T) {
+	values := confValues()
+	qs := []float64{0, 0.25, 0.5, 0.95, 1}
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			decoded, err := ddsketch.Decode(s.Encode())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got, want := decoded.Count(), s.Count(); got != want {
+				t.Errorf("decoded Count = %g, want %g", got, want)
+			}
+			want, err := s.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := decoded.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				if got[i] != want[i] {
+					t.Errorf("q=%g: decoded %g != original %g", q, got[i], want[i])
+				}
+			}
+			for fn, pair := range map[string][2]func() (float64, error){
+				"Sum": {decoded.Sum, s.Sum},
+				"Min": {decoded.Min, s.Min},
+				"Max": {decoded.Max, s.Max},
+			} {
+				got, err := pair[0]()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := pair[1]()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("decoded %s = %g, want %g", fn, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceQuantilesMatchQuantile is the property test: for every
+// variant, Quantiles(qs) equals elementwise what per-q Quantile(q)
+// calls return against the same (static) data.
+func TestConformanceQuantilesMatchQuantile(t *testing.T) {
+	values := confValues()
+	qs := make([]float64, 0, 101)
+	for i := 0; i <= 100; i++ {
+		qs = append(qs, float64(i)/100)
+	}
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			batch, err := s.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				single, err := s.Quantile(q)
+				if err != nil {
+					t.Fatalf("Quantile(%g): %v", q, err)
+				}
+				if batch[i] != single {
+					t.Errorf("q=%g: Quantiles %g != Quantile %g", q, batch[i], single)
+				}
+			}
+
+			// Error cases agree with Quantile's.
+			if _, err := s.Quantiles([]float64{0.5, 1.5}); err == nil {
+				t.Error("Quantiles with out-of-range q: no error")
+			}
+		})
+	}
+}
+
+// TestConformanceSummaryMatchesIndividualReads: the one-pass Summary
+// reports exactly what the N independent query calls report.
+func TestConformanceSummaryMatchesIndividualReads(t *testing.T) {
+	values := confValues()
+	qs := []float64{0.5, 0.9, 0.99}
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			summary, err := s.Summary(qs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fn, pair := range map[string][2]float64{
+				"Count": {summary.Count, s.Count()},
+				"Sum":   {summary.Sum, mustQuery(t, s.Sum)},
+				"Min":   {summary.Min, mustQuery(t, s.Min)},
+				"Max":   {summary.Max, mustQuery(t, s.Max)},
+				"Avg":   {summary.Avg, mustQuery(t, s.Avg)},
+			} {
+				if pair[0] != pair[1] {
+					t.Errorf("Summary.%s = %g, individual read = %g", fn, pair[0], pair[1])
+				}
+			}
+			if len(summary.Quantiles) != len(qs) {
+				t.Fatalf("Summary has %d quantiles, want %d", len(summary.Quantiles), len(qs))
+			}
+			for i, qv := range summary.Quantiles {
+				if qv.Q != qs[i] {
+					t.Errorf("quantile %d: Q = %g, want %g", i, qv.Q, qs[i])
+				}
+				single, err := s.Quantile(qs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if qv.Value != single {
+					t.Errorf("q=%g: Summary %g != Quantile %g", qs[i], qv.Value, single)
+				}
+			}
+		})
+	}
+}
+
+func mustQuery(t *testing.T, query func() (float64, error)) float64 {
+	t.Helper()
+	v, err := query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// countingStore wraps a Store and counts MergeWith calls through a
+// shared counter, surviving the Copy calls sketches make internally —
+// the probe behind the one-merge-pass assertions.
+type countingStore struct {
+	store.Store
+	merges *int
+}
+
+func (c *countingStore) MergeWith(other store.Store) {
+	*c.merges++
+	if o, ok := other.(*countingStore); ok {
+		other = o.Store
+	}
+	c.Store.MergeWith(other)
+}
+
+func (c *countingStore) Copy() store.Store {
+	return &countingStore{Store: c.Store.Copy(), merges: c.merges}
+}
+
+func countingProvider(merges *int) store.Provider {
+	return func() store.Store {
+		return &countingStore{Store: store.NewDenseStore(), merges: merges}
+	}
+}
+
+func countingPrototype(t *testing.T, merges *int) *ddsketch.DDSketch {
+	t.Helper()
+	m, err := mapping.NewLogarithmic(confAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ddsketch.NewWithConfig(m, countingProvider(merges), countingProvider(merges))
+}
+
+// TestShardedSummarySingleMergePass is the merge-count probe: a Summary
+// read on a Sharded sketch merges each shard exactly once (two store
+// merges per shard: positive and negative), however many statistics it
+// returns, while the same reads as independent queries re-merge for
+// every quantile.
+func TestShardedSummarySingleMergePass(t *testing.T) {
+	merges := 0
+	s := ddsketch.NewSharded(countingPrototype(t, &merges), 8)
+	fillAll(t, s, confValues()[:5000])
+	perPass := 2 * s.NumShards()
+
+	merges = 0
+	if _, err := s.Summary(0.5, 0.95, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if merges != perPass {
+		t.Errorf("Summary with 3 quantiles: %d store merges, want %d (one pass)", merges, perPass)
+	}
+
+	merges = 0
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if _, err := s.Quantile(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sum/Min/Max/Avg/Count read shard counters without merging.
+	for _, query := range []func() (float64, error){s.Sum, s.Min, s.Max, s.Avg} {
+		if _, err := query(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merges != 3*perPass {
+		t.Errorf("naive per-query reads: %d store merges, want %d (one pass per quantile)",
+			merges, 3*perPass)
+	}
+}
+
+// TestTimeWindowedSummarySingleMergePass: Summary and TrailingQuantiles
+// merge the ring once per call; per-q TrailingQuantile calls merge it
+// once per quantile.
+func TestTimeWindowedSummarySingleMergePass(t *testing.T) {
+	merges := 0
+	clock := newFakeClock()
+	w, err := ddsketch.NewTimeWindowedWithClock(countingPrototype(t, &merges), time.Minute, 4, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := confValues()[:4000]
+	for i, v := range values {
+		if err := w.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 999 {
+			clock.Advance(time.Minute)
+		}
+	}
+	perSlot := 2 // positive and negative store
+
+	merges = 0
+	if _, err := w.Summary(0.5, 0.95, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if want := perSlot * w.Windows(); merges != want {
+		t.Errorf("Summary with 3 quantiles: %d store merges, want %d (one ring pass)", merges, want)
+	}
+
+	merges = 0
+	if _, err := w.TrailingQuantiles([]float64{0.5, 0.95, 0.99}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if want := perSlot * 2; merges != want {
+		t.Errorf("TrailingQuantiles over 2 windows: %d store merges, want %d", merges, want)
+	}
+
+	merges = 0
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if _, err := w.TrailingQuantile(q, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 3 * perSlot * 2; merges != want {
+		t.Errorf("per-q TrailingQuantile ×3: %d store merges, want %d", merges, want)
+	}
+
+	// The one-pass reads agree with the per-q reads, merge counting aside.
+	batch, err := w.TrailingQuantiles([]float64{0.5, 0.95, 0.99}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []float64{0.5, 0.95, 0.99} {
+		single, err := w.TrailingQuantile(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Errorf("q=%g: TrailingQuantiles %g != TrailingQuantile %g", q, batch[i], single)
+		}
+	}
+}
+
+// TestNewSketchVariants: the options compose into the documented
+// concrete types.
+func TestNewSketchVariants(t *testing.T) {
+	clock := newFakeClock()
+	cases := []struct {
+		name string
+		opts []ddsketch.Option
+		want string
+	}{
+		{"plain", nil, "*ddsketch.DDSketch"},
+		{"mutex", []ddsketch.Option{ddsketch.WithMutex()}, "*ddsketch.Concurrent"},
+		{"sharded", []ddsketch.Option{ddsketch.WithSharding(4)}, "*ddsketch.Sharded"},
+		{"windowed", []ddsketch.Option{
+			ddsketch.WithWindow(time.Second, 3), ddsketch.WithClock(clock.Now)},
+			"*ddsketch.TimeWindowed"},
+		{"windowed-sharded", []ddsketch.Option{
+			ddsketch.WithSharding(4), ddsketch.WithWindow(time.Second, 3)},
+			"*ddsketch.WindowedSharded"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := ddsketch.NewSketch(c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got string
+			switch s.(type) {
+			case *ddsketch.DDSketch:
+				got = "*ddsketch.DDSketch"
+			case *ddsketch.Concurrent:
+				got = "*ddsketch.Concurrent"
+			case *ddsketch.Sharded:
+				got = "*ddsketch.Sharded"
+			case *ddsketch.TimeWindowed:
+				got = "*ddsketch.TimeWindowed"
+			case *ddsketch.WindowedSharded:
+				got = "*ddsketch.WindowedSharded"
+			}
+			if got != c.want {
+				t.Errorf("NewSketch(%s) = %s, want %s", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+// TestNewSketchOptionErrors: invalid and mutually exclusive options are
+// rejected with ErrInvalidOption.
+func TestNewSketchOptionErrors(t *testing.T) {
+	logMapping, err := mapping.NewLogarithmic(confAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := store.DenseStoreProvider()
+	cases := []struct {
+		name string
+		opts []ddsketch.Option
+	}{
+		{"mapping+accuracy", []ddsketch.Option{
+			ddsketch.WithMapping(logMapping), ddsketch.WithRelativeAccuracy(0.01)}},
+		{"stores+maxbins", []ddsketch.Option{
+			ddsketch.WithStores(dense, dense), ddsketch.WithMaxBins(2048)}},
+		{"mutex+sharding", []ddsketch.Option{
+			ddsketch.WithMutex(), ddsketch.WithSharding(4)}},
+		{"mutex+window", []ddsketch.Option{
+			ddsketch.WithMutex(), ddsketch.WithWindow(time.Second, 3)}},
+		{"clock-without-window", []ddsketch.Option{
+			ddsketch.WithClock(newFakeClock().Now)}},
+		{"nil-mapping", []ddsketch.Option{ddsketch.WithMapping(nil)}},
+		{"nil-stores", []ddsketch.Option{ddsketch.WithStores(nil, nil)}},
+		{"nil-clock", []ddsketch.Option{
+			ddsketch.WithWindow(time.Second, 3), ddsketch.WithClock(nil)}},
+		{"zero-maxbins", []ddsketch.Option{ddsketch.WithMaxBins(0)}},
+		{"zero-interval", []ddsketch.Option{ddsketch.WithWindow(0, 3)}},
+		{"zero-windows", []ddsketch.Option{ddsketch.WithWindow(time.Second, 0)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ddsketch.NewSketch(c.opts...); !errors.Is(err, ddsketch.ErrInvalidOption) {
+				t.Errorf("NewSketch: err = %v, want ErrInvalidOption", err)
+			}
+		})
+	}
+
+	// Bad accuracy surfaces the mapping's own validation.
+	if _, err := ddsketch.NewSketch(ddsketch.WithRelativeAccuracy(2)); err == nil {
+		t.Error("NewSketch(WithRelativeAccuracy(2)): no error")
+	}
+}

@@ -23,24 +23,31 @@
 //
 // Basic usage:
 //
-//	sketch, err := ddsketch.NewCollapsing(0.01, 2048)
+//	sketch, err := ddsketch.NewSketch(
+//		ddsketch.WithRelativeAccuracy(0.01),
+//		ddsketch.WithMaxBins(2048),
+//	)
 //	if err != nil { ... }
 //	for _, latency := range latencies {
 //		if err := sketch.Add(latency); err != nil { ... }
 //	}
 //	p99, err := sketch.Quantile(0.99)
+//	summary, err := sketch.Summary(0.5, 0.99) // count/sum/min/max/avg + quantiles, one pass
 //
 // The sub-packages mapping and store expose the building blocks for
-// custom configurations (faster mappings, sparse stores, …); see
-// NewWithConfig.
+// custom configurations (faster mappings, sparse stores, …), plugged in
+// via WithMapping and WithStores (or NewWithConfig).
 //
 // On top of the plain sketch, the package provides the concurrency and
-// aggregation layers of a production pipeline: Concurrent (one sketch
-// behind one lock), Sharded (lock-striped shards for parallel writers,
-// merged exactly on read), and TimeWindowed (a ring of per-interval
-// sketches answering trailing-window queries). cmd/ddserver assembles
-// them into an HTTP aggregation service consuming encoded sketches from
-// a fleet of agents — the architecture of §1 of the paper.
+// aggregation layers of a production pipeline, all behind the same
+// Sketch interface and composed with NewSketch options: Concurrent
+// (WithMutex: one sketch behind one lock), Sharded (WithSharding:
+// lock-striped shards for parallel writers, merged exactly on read),
+// TimeWindowed (WithWindow: a ring of per-interval sketches answering
+// trailing-window queries), and WindowedSharded (both: sharded ingest
+// drained into a window ring). cmd/ddserver is the HTTP skin over the
+// last, an aggregation service consuming encoded sketches from a fleet
+// of agents — the architecture of §1 of the paper.
 package ddsketch
 
 import (
@@ -92,12 +99,10 @@ type DDSketch struct {
 // using the memory-optimal logarithmic mapping and unbounded dense
 // stores. Its size grows with the number of distinct bucket indexes
 // (O(log of the data's dynamic range)); use NewCollapsing to bound it.
+//
+// New is a thin wrapper over NewSketch(WithRelativeAccuracy(α)).
 func New(relativeAccuracy float64) (*DDSketch, error) {
-	m, err := mapping.NewLogarithmic(relativeAccuracy)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithConfig(m, store.DenseStoreProvider(), store.DenseStoreProvider()), nil
+	return newBase(WithRelativeAccuracy(relativeAccuracy))
 }
 
 // NewCollapsing returns the paper's bounded-size DDSketch: relative
@@ -106,27 +111,30 @@ func New(relativeAccuracy float64) (*DDSketch, error) {
 // collapses its highest indexes so that, globally, the lowest quantiles
 // degrade first. With α = 0.01 and maxBins = 2048 the sketch covers
 // values from 80 microseconds to 1 year without collapsing (§2.2).
+//
+// NewCollapsing is a thin wrapper over
+// NewSketch(WithRelativeAccuracy(α), WithMaxBins(maxBins)).
 func NewCollapsing(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
-	m, err := mapping.NewLogarithmic(relativeAccuracy)
+	return newBase(WithRelativeAccuracy(relativeAccuracy), WithMaxBins(maxBins))
+}
+
+// newBase builds an unlayered sketch from NewSketch options; the old
+// concrete constructors are thin wrappers over it.
+func newBase(opts ...Option) (*DDSketch, error) {
+	s, err := NewSketch(opts...)
 	if err != nil {
 		return nil, err
 	}
-	return NewWithConfig(m,
-		store.CollapsingLowestProvider(maxBins),
-		store.CollapsingHighestProvider(maxBins)), nil
+	return s.(*DDSketch), nil
 }
 
 // NewCollapsingHighest mirrors NewCollapsing, collapsing the buckets of
 // highest indexes instead, for workloads where the lowest quantiles
 // matter most.
 func NewCollapsingHighest(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
-	m, err := mapping.NewLogarithmic(relativeAccuracy)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithConfig(m,
-		store.CollapsingHighestProvider(maxBins),
-		store.CollapsingLowestProvider(maxBins)), nil
+	return newBase(
+		WithRelativeAccuracy(relativeAccuracy),
+		WithStores(store.CollapsingHighestProvider(maxBins), store.CollapsingLowestProvider(maxBins)))
 }
 
 // NewFast returns the "DDSketch (fast)" configuration benchmarked in §4
@@ -138,20 +146,16 @@ func NewFast(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewWithConfig(m,
-		store.CollapsingLowestProvider(maxBins),
-		store.CollapsingHighestProvider(maxBins)), nil
+	return newBase(WithMapping(m), WithMaxBins(maxBins))
 }
 
 // NewSparse returns an unbounded sketch whose memory is proportional to
 // the number of non-empty buckets, trading insertion speed for space
 // (§2.2's sparse implementation).
 func NewSparse(relativeAccuracy float64) (*DDSketch, error) {
-	m, err := mapping.NewLogarithmic(relativeAccuracy)
-	if err != nil {
-		return nil, err
-	}
-	return NewWithConfig(m, store.SparseStoreProvider(), store.SparseStoreProvider()), nil
+	return newBase(
+		WithRelativeAccuracy(relativeAccuracy),
+		WithStores(store.SparseStoreProvider(), store.SparseStoreProvider()))
 }
 
 // NewWithConfig assembles a sketch from an index mapping and store
@@ -422,6 +426,18 @@ func (s *DDSketch) MergeWith(other *DDSketch) error {
 	s.sum += other.sum
 	return nil
 }
+
+// Summary returns count, sum, min, max, avg, and the requested
+// quantiles in one pass: the exact statistics come straight from the
+// running counters, and the quantiles are read against the same state.
+func (s *DDSketch) Summary(qs ...float64) (Summary, error) {
+	return s.summarize(qs)
+}
+
+// Snapshot returns a deep, independent copy of the sketch. On a plain
+// DDSketch it is Copy under the name the Sketch interface uses; on the
+// concurrent variants it is the consistent-read primitive.
+func (s *DDSketch) Snapshot() *DDSketch { return s.Copy() }
 
 // Copy returns a deep copy of the sketch.
 func (s *DDSketch) Copy() *DDSketch {

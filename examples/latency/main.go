@@ -37,9 +37,14 @@ const (
 
 func main() {
 	// The backend keeps one merged sketch per interval plus a running
-	// rollup of everything seen so far.
+	// rollup of everything seen so far. Everything is built through
+	// NewSketch; agents, per-interval aggregates, and the rollup differ
+	// only in layering options, not in API.
 	perInterval := make([]*ddsketch.DDSketch, intervals)
-	rollup, err := ddsketch.NewCollapsing(relativeAccuracy, sketchMaxBins)
+	rollup, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(relativeAccuracy),
+		ddsketch.WithMaxBins(sketchMaxBins),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,19 +58,29 @@ func main() {
 		}
 
 		// Each container runs as a goroutine: requests arrive, the agent
-		// records latencies into a concurrency-safe sketch, and at the
-		// end of the interval the agent flushes (serialize + reset).
+		// records latencies into a mutex-guarded sketch (the WithMutex
+		// layering — request handlers insert while a flusher reads), and
+		// at the end of the interval the agent flushes (serialize + reset).
 		payloads := make(chan []byte, containers)
 		var wg sync.WaitGroup
 		for c := 0; c < containers; c++ {
 			wg.Add(1)
 			go func(container int) {
 				defer wg.Done()
-				base, err := ddsketch.NewCollapsing(relativeAccuracy, sketchMaxBins)
+				sketch, err := ddsketch.NewSketch(
+					ddsketch.WithRelativeAccuracy(relativeAccuracy),
+					ddsketch.WithMaxBins(sketchMaxBins),
+					ddsketch.WithMutex(),
+				)
 				if err != nil {
 					log.Fatal(err)
 				}
-				agent := ddsketch.NewConcurrent(base)
+				// The layering options return concrete types: WithMutex
+				// yields a *Concurrent, whose extras beyond the Sketch
+				// interface — here the atomic Flush (copy + reset under one
+				// lock, so no insert racing the flush is lost) — stay
+				// available behind a type assertion.
+				agent := sketch.(*ddsketch.Concurrent)
 				seed := uint64(interval*containers + container + 1)
 				for _, latency := range datagen.Latency(requestsPerIntvl, seed) {
 					if err := agent.Add(latency); err != nil {
@@ -98,13 +113,15 @@ func main() {
 			exactAll = append(exactAll, datagen.Latency(requestsPerIntvl, seed)...)
 		}
 
-		mean, _ := merged.Avg()
-		qs, err := merged.Quantiles([]float64{0.5, 0.75, 0.95, 0.99})
+		// One-pass read: mean and four percentiles from a single Summary.
+		summary, err := merged.Summary(0.5, 0.75, 0.95, 0.99)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%8d  %.4f   %.4f   %.4f   %.4f   %.4f\n",
-			interval+1, mean, qs[0], qs[1], qs[2], qs[3])
+			interval+1, summary.Avg,
+			summary.Quantiles[0].Value, summary.Quantiles[1].Value,
+			summary.Quantiles[2].Value, summary.Quantiles[3].Value)
 	}
 
 	// The Figure 2 observation, quantified over the whole run.

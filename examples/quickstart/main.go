@@ -14,10 +14,16 @@ import (
 )
 
 func main() {
-	// A sketch with 1% relative accuracy and at most 2048 buckets — the
-	// paper's recommended production configuration (§2.2: with these
-	// parameters it covers values from 80µs to 1 year).
-	sketch, err := ddsketch.NewCollapsing(0.01, 2048)
+	// NewSketch is the single entry point for every sketch variant; with
+	// no layering options it returns a plain DDSketch. 1% relative
+	// accuracy and at most 2048 buckets is the paper's recommended
+	// production configuration (§2.2: it covers values from 80µs to 1
+	// year). Add WithMutex(), WithSharding(k), or WithWindow(d, n) to
+	// change the concurrency/retention shape without changing the API.
+	sketch, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(0.01),
+		ddsketch.WithMaxBins(2048),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,24 +41,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Query quantiles: each estimate is within 1% of the true value.
-	quantiles, err := sketch.Quantiles([]float64{0.5, 0.95, 0.99})
+	// One-pass reads: Summary returns count, sum, min, max, avg, and any
+	// quantiles you ask for, computed against one consistent view. Each
+	// quantile estimate is within 1% of the true value; the other
+	// statistics are exact.
+	summary, err := sketch.Summary(0.5, 0.95, 0.99)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("count=%.0f p50=%.4fs p95=%.4fs p99=%.4fs\n",
-		sketch.Count(), quantiles[0], quantiles[1], quantiles[2])
+		summary.Count,
+		summary.Quantiles[0].Value, summary.Quantiles[1].Value, summary.Quantiles[2].Value)
+	fmt.Printf("min=%.4fs avg=%.4fs max=%.4fs\n", summary.Min, summary.Avg, summary.Max)
 
-	// Exact summary statistics ride along for free.
-	min, _ := sketch.Min()
-	max, _ := sketch.Max()
-	avg, _ := sketch.Avg()
-	fmt.Printf("min=%.4fs avg=%.4fs max=%.4fs\n", min, avg, max)
+	// With no layering options NewSketch returns the concrete *DDSketch,
+	// whose extras beyond the Sketch interface (NumBins, CDF, Delete, …)
+	// stay available behind a type assertion.
+	dd := sketch.(*ddsketch.DDSketch)
 
 	// Sketches serialize compactly...
 	data := sketch.Encode()
 	fmt.Printf("serialized size: %d bytes for %.0f values (%d buckets)\n",
-		len(data), sketch.Count(), sketch.NumBins())
+		len(data), summary.Count, dd.NumBins())
 
 	// ...and merge losslessly: a sketch decoded elsewhere answers exactly
 	// like the original.
@@ -60,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := other.MergeWith(sketch); err != nil {
+	if err := other.MergeWith(dd); err != nil {
 		log.Fatal(err)
 	}
 	p99, _ := other.Quantile(0.99)

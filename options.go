@@ -1,0 +1,235 @@
+package ddsketch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/store"
+)
+
+// ErrInvalidOption is returned by NewSketch when options are invalid or
+// mutually exclusive.
+var ErrInvalidOption = errors.New("ddsketch: invalid option")
+
+// DefaultRelativeAccuracy is the accuracy α NewSketch uses when none is
+// given: 1%, the paper's recommended production setting (§2.2).
+const DefaultRelativeAccuracy = 0.01
+
+// sketchConfig accumulates the choices made by Options before NewSketch
+// resolves them into a concrete variant.
+type sketchConfig struct {
+	alpha    float64
+	alphaSet bool
+	maxBins  int
+
+	mapping            mapping.IndexMapping
+	positive, negative store.Provider
+
+	mutex    bool
+	sharded  bool
+	shards   int
+	windowed bool
+	interval time.Duration
+	windows  int
+	now      func() time.Time
+}
+
+// Option configures NewSketch.
+type Option func(*sketchConfig) error
+
+// WithRelativeAccuracy sets the sketch's relative accuracy α ∈ (0, 1)
+// under the default logarithmic mapping. Mutually exclusive with
+// WithMapping, which carries its own accuracy.
+func WithRelativeAccuracy(alpha float64) Option {
+	return func(c *sketchConfig) error {
+		c.alpha = alpha
+		c.alphaSet = true
+		return nil
+	}
+}
+
+// WithMaxBins bounds each store to at most maxBins buckets, collapsing
+// the buckets that hold the lowest quantiles when full (the paper's
+// Algorithm 3). Mutually exclusive with WithStores, which chooses the
+// store layout explicitly.
+func WithMaxBins(maxBins int) Option {
+	return func(c *sketchConfig) error {
+		if maxBins < 1 {
+			return fmt.Errorf("%w: max bins must be at least 1, got %d", ErrInvalidOption, maxBins)
+		}
+		c.maxBins = maxBins
+		return nil
+	}
+}
+
+// WithMapping uses the given index mapping instead of the default
+// logarithmic one — e.g. a linearly interpolated mapping for the
+// "DDSketch (fast)" configuration of §4.
+func WithMapping(m mapping.IndexMapping) Option {
+	return func(c *sketchConfig) error {
+		if m == nil {
+			return fmt.Errorf("%w: mapping must not be nil", ErrInvalidOption)
+		}
+		c.mapping = m
+		return nil
+	}
+}
+
+// WithStores uses the given providers for the positive- and
+// negative-value stores instead of the defaults (dense, or collapsing
+// when WithMaxBins is set).
+func WithStores(positive, negative store.Provider) Option {
+	return func(c *sketchConfig) error {
+		if positive == nil || negative == nil {
+			return fmt.Errorf("%w: store providers must not be nil", ErrInvalidOption)
+		}
+		c.positive, c.negative = positive, negative
+		return nil
+	}
+}
+
+// WithMutex wraps the sketch in a single reader/writer mutex (the
+// Concurrent variant): safe for concurrent use, but every operation
+// serializes on one lock. For heavy parallel write loads prefer
+// WithSharding. Mutually exclusive with WithSharding and WithWindow,
+// which are concurrency-safe by construction.
+func WithMutex() Option {
+	return func(c *sketchConfig) error {
+		c.mutex = true
+		return nil
+	}
+}
+
+// WithSharding spreads writes across numShards independently-locked
+// shard sketches (the Sharded variant), merged exactly on read.
+// numShards is rounded up to a power of two; values below 1 select
+// DefaultShardCount. Combined with WithWindow it yields a
+// WindowedSharded: sharded ingest drained into a window ring.
+func WithSharding(numShards int) Option {
+	return func(c *sketchConfig) error {
+		c.sharded = true
+		c.shards = numShards
+		return nil
+	}
+}
+
+// WithWindow retains the last `windows` intervals of the given duration
+// in a ring (the TimeWindowed variant) and answers queries over the
+// trailing window. Combined with WithSharding it yields a
+// WindowedSharded.
+func WithWindow(interval time.Duration, windows int) Option {
+	return func(c *sketchConfig) error {
+		if interval <= 0 {
+			return fmt.Errorf("%w: window interval must be positive, got %v", ErrInvalidOption, interval)
+		}
+		if windows < 1 {
+			return fmt.Errorf("%w: window count must be at least 1, got %d", ErrInvalidOption, windows)
+		}
+		c.windowed = true
+		c.interval = interval
+		c.windows = windows
+		return nil
+	}
+}
+
+// WithClock injects the clock driving window rotation; tests and replay
+// pipelines use it to advance time deterministically. Requires
+// WithWindow. now must be monotone non-decreasing across calls.
+func WithClock(now func() time.Time) Option {
+	return func(c *sketchConfig) error {
+		if now == nil {
+			return fmt.Errorf("%w: clock must not be nil", ErrInvalidOption)
+		}
+		c.now = now
+		return nil
+	}
+}
+
+// NewSketch is the single entry point constructing any sketch variant
+// from composable options:
+//
+//	base:        NewSketch()                                    // plain DDSketch, α = 1%, unbounded
+//	bounded:     NewSketch(WithRelativeAccuracy(0.01), WithMaxBins(2048))
+//	locked:      NewSketch(WithMutex(), ...)                    // Concurrent
+//	striped:     NewSketch(WithSharding(0), ...)                // Sharded
+//	windowed:    NewSketch(WithWindow(10*time.Second, 6), ...)  // TimeWindowed
+//	aggregator:  NewSketch(WithSharding(0), WithWindow(10*time.Second, 6), ...)
+//	                                                            // WindowedSharded
+//
+// Every returned variant implements Sketch; layering options change the
+// concurrency and retention shape, never the answers — merges are exact
+// (§2.3), so a sharded or windowed sketch answers exactly as a plain
+// one holding the same data would.
+func NewSketch(opts ...Option) (Sketch, error) {
+	var cfg sketchConfig
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.mapping != nil && cfg.alphaSet {
+		return nil, fmt.Errorf("%w: WithMapping and WithRelativeAccuracy are mutually exclusive (the mapping carries its own accuracy)", ErrInvalidOption)
+	}
+	if cfg.positive != nil && cfg.maxBins > 0 {
+		return nil, fmt.Errorf("%w: WithStores and WithMaxBins are mutually exclusive (the providers carry their own bounds)", ErrInvalidOption)
+	}
+	if cfg.mutex && (cfg.sharded || cfg.windowed) {
+		return nil, fmt.Errorf("%w: WithMutex is mutually exclusive with WithSharding and WithWindow", ErrInvalidOption)
+	}
+	if cfg.now != nil && !cfg.windowed {
+		return nil, fmt.Errorf("%w: WithClock requires WithWindow", ErrInvalidOption)
+	}
+
+	base, err := cfg.base()
+	if err != nil {
+		return nil, err
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	switch {
+	case cfg.sharded && cfg.windowed:
+		return NewWindowedShardedWithClock(base, cfg.shards, cfg.interval, cfg.windows, now)
+	case cfg.windowed:
+		return NewTimeWindowedWithClock(base, cfg.interval, cfg.windows, now)
+	case cfg.sharded:
+		return NewSharded(base, cfg.shards), nil
+	case cfg.mutex:
+		return NewConcurrent(base), nil
+	default:
+		return base, nil
+	}
+}
+
+// base resolves the mapping and store choices into the prototype
+// DDSketch every layering option builds on.
+func (c *sketchConfig) base() (*DDSketch, error) {
+	m := c.mapping
+	if m == nil {
+		alpha := c.alpha
+		if !c.alphaSet {
+			alpha = DefaultRelativeAccuracy
+		}
+		var err error
+		m, err = mapping.NewLogarithmic(alpha)
+		if err != nil {
+			return nil, err
+		}
+	}
+	positive, negative := c.positive, c.negative
+	if positive == nil {
+		if c.maxBins > 0 {
+			// The negative store collapses its highest indexes so that,
+			// globally, the lowest quantiles degrade first (§2.2).
+			positive = store.CollapsingLowestProvider(c.maxBins)
+			negative = store.CollapsingHighestProvider(c.maxBins)
+		} else {
+			positive = store.DenseStoreProvider()
+			negative = store.DenseStoreProvider()
+		}
+	}
+	return NewWithConfig(m, positive, negative), nil
+}

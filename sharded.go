@@ -171,15 +171,31 @@ func (s *Sharded) Flush() *DDSketch {
 }
 
 // Quantile returns an α-accurate estimate of the q-quantile across all
-// shards, merging on read.
+// shards, merging on read. Each call pays for one full shard merge;
+// when reading several statistics at once, use Quantiles or Summary,
+// which merge once for the whole call.
 func (s *Sharded) Quantile(q float64) (float64, error) {
 	return s.Snapshot().Quantile(q)
 }
 
 // Quantiles returns α-accurate estimates for each of the given
-// quantiles, all computed against the same merged snapshot.
+// quantiles, all computed against the same merged snapshot — one shard
+// merge for the whole call, however many quantiles are asked for.
 func (s *Sharded) Quantiles(qs []float64) ([]float64, error) {
 	return s.Snapshot().Quantiles(qs)
+}
+
+// Summary returns count, sum, min, max, avg, and the requested
+// quantiles in exactly one merge pass over the shards, where the same
+// reads as independent query calls would each re-merge.
+func (s *Sharded) Summary(qs ...float64) (Summary, error) {
+	return s.Snapshot().summarize(qs)
+}
+
+// CDF returns an estimate of the fraction of inserted values that are
+// less than or equal to value, merging on read.
+func (s *Sharded) CDF(value float64) (float64, error) {
+	return s.Snapshot().CDF(value)
 }
 
 // Count returns the total weight across all shards.
@@ -247,6 +263,22 @@ func (s *Sharded) Max() (float64, error) {
 		return 0, ErrEmptySketch
 	}
 	return max, nil
+}
+
+// Avg returns the exact average of all inserted values.
+func (s *Sharded) Avg() (float64, error) {
+	sum, count := 0.0, 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		count += sh.sketch.Count()
+		sum += sh.sketch.sum
+		sh.mu.Unlock()
+	}
+	if count <= 0 {
+		return 0, ErrEmptySketch
+	}
+	return sum / count, nil
 }
 
 // Clear empties every shard.

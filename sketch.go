@@ -1,0 +1,118 @@
+package ddsketch
+
+// Sketch is the interface shared by every quantile-sketch variant in
+// this package: the plain DDSketch, the mutex-guarded Concurrent, the
+// lock-striped Sharded, the TimeWindowed ring, and the composed
+// WindowedSharded. Because DDSketch merges are exact for sketches
+// sharing a mapping (§2.3 of the paper), all of them answer queries
+// exactly as a single sketch of the same data would — which is what
+// makes them interchangeable behind one interface: callers pick a
+// concurrency/retention shape with NewSketch options and program
+// against Sketch.
+//
+// MergeWith and DecodeAndMergeWith fold data *into* a sketch; Snapshot
+// extracts a merged, independent *DDSketch copy *out* of one. Encode is
+// shorthand for serializing such a snapshot. For reading several
+// statistics at once, prefer Summary: on the merged variants (Sharded,
+// TimeWindowed, WindowedSharded) it pays for exactly one merge pass,
+// where N independent query calls would pay for N.
+type Sketch interface {
+	// Add inserts a value.
+	Add(value float64) error
+	// AddWithCount inserts a value with the given positive weight.
+	AddWithCount(value, count float64) error
+
+	// Quantile returns an α-accurate estimate of the q-quantile.
+	Quantile(q float64) (float64, error)
+	// Quantiles returns α-accurate estimates for each of the given
+	// quantiles, all computed against one consistent view of the data.
+	Quantiles(qs []float64) ([]float64, error)
+	// Summary returns count, sum, min, max, avg, and the requested
+	// quantiles, computed in a single snapshot/merge pass.
+	Summary(qs ...float64) (Summary, error)
+
+	// Count returns the total inserted weight.
+	Count() float64
+	// IsEmpty reports whether the sketch holds no values.
+	IsEmpty() bool
+	// Sum returns the exact sum of inserted values.
+	Sum() (float64, error)
+	// Min returns the exact minimum inserted value.
+	Min() (float64, error)
+	// Max returns the exact maximum inserted value.
+	Max() (float64, error)
+	// Avg returns the exact average of inserted values.
+	Avg() (float64, error)
+
+	// MergeWith folds other into the sketch. other is not modified.
+	MergeWith(other *DDSketch) error
+	// DecodeAndMergeWith decodes a serialized sketch and folds it in.
+	DecodeAndMergeWith(data []byte) error
+
+	// Snapshot returns a merged, deep, independent copy of the sketch's
+	// current content as a plain DDSketch.
+	Snapshot() *DDSketch
+	// Encode returns a binary serialization of a consistent snapshot.
+	Encode() []byte
+
+	// Clear empties the sketch, keeping its configuration.
+	Clear()
+}
+
+// Compile-time conformance: every variant implements Sketch.
+var (
+	_ Sketch = (*DDSketch)(nil)
+	_ Sketch = (*Concurrent)(nil)
+	_ Sketch = (*Sharded)(nil)
+	_ Sketch = (*TimeWindowed)(nil)
+	_ Sketch = (*WindowedSharded)(nil)
+)
+
+// Summary is a one-pass read of a sketch's aggregate statistics: the
+// summary-at-once API that aggregation services want instead of N
+// independent query calls (each of which, on a sharded or windowed
+// sketch, would pay for its own full merge). The exact statistics come
+// straight from the sketch's running counters; each quantile estimate
+// carries the usual α relative-error guarantee.
+type Summary struct {
+	Count     float64         `json:"count"`
+	Sum       float64         `json:"sum"`
+	Min       float64         `json:"min"`
+	Max       float64         `json:"max"`
+	Avg       float64         `json:"avg"`
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+}
+
+// QuantileValue pairs a requested quantile with its estimate.
+type QuantileValue struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+// summarize builds a Summary directly from a plain sketch. It is the
+// single underlying implementation: every variant reduces itself to one
+// *DDSketch (by snapshot/merge) and reads all statistics off it.
+func (s *DDSketch) summarize(qs []float64) (Summary, error) {
+	if s.IsEmpty() {
+		return Summary{}, ErrEmptySketch
+	}
+	values, err := s.Quantiles(qs)
+	if err != nil {
+		return Summary{}, err
+	}
+	count := s.Count()
+	summary := Summary{
+		Count: count,
+		Sum:   s.sum,
+		Min:   s.min,
+		Max:   s.max,
+		Avg:   s.sum / count,
+	}
+	if len(qs) > 0 {
+		summary.Quantiles = make([]QuantileValue, len(qs))
+		for i, q := range qs {
+			summary.Quantiles[i] = QuantileValue{Q: q, Value: values[i]}
+		}
+	}
+	return summary, nil
+}

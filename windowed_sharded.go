@@ -1,0 +1,213 @@
+package ddsketch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WindowedSharded composes the two concurrency/retention layers into the
+// full aggregation-service core from §1 of the paper: a lock-striped
+// Sharded sketch absorbs concurrent writes (raw values or whole sketches
+// shipped by agents), and a TimeWindowed ring retains recent history for
+// trailing-window queries. Reads drain the sharded layer into the
+// current interval first, so every acknowledged write is visible; a
+// periodic Drain (cmd/ddserver runs one from a ticker) keeps values
+// attributed to the interval in which they arrived rather than the one
+// in which they were first queried.
+//
+// Both layers merge exactly (Algorithm 4), so the composition costs no
+// accuracy: a WindowedSharded answers exactly as a TimeWindowed fed the
+// same values at the same times would.
+//
+// Construct one with NewSketch(WithSharding(k), WithWindow(d, n), ...)
+// or NewWindowedSharded. WindowedSharded is safe for concurrent use.
+type WindowedSharded struct {
+	live *Sharded      // absorbs writes between drains
+	ring *TimeWindowed // retains drained history
+
+	// drainMu makes flush-and-merge atomic with respect to other
+	// drains: without it, a reader draining between another drain's
+	// Flush and MergeWith would see neither the shards' content (already
+	// flushed) nor the ring's (not yet merged), transiently hiding
+	// acknowledged writes.
+	drainMu sync.Mutex
+}
+
+// NewWindowedSharded returns a sharded, time-windowed sketch whose
+// layers share prototype's mapping and store configuration. Any values
+// already in prototype seed the live layer (they reach the window ring
+// on the first drain). numShards follows NewSharded's rounding;
+// interval and windows follow NewTimeWindowed's validation.
+// NewWindowedSharded takes ownership of prototype.
+func NewWindowedSharded(prototype *DDSketch, numShards int, interval time.Duration, windows int) (*WindowedSharded, error) {
+	return NewWindowedShardedWithClock(prototype, numShards, interval, windows, time.Now)
+}
+
+// NewWindowedShardedWithClock is NewWindowedSharded with an injectable
+// clock driving window rotation. now must be monotone non-decreasing
+// across calls.
+func NewWindowedShardedWithClock(prototype *DDSketch, numShards int, interval time.Duration, windows int, now func() time.Time) (*WindowedSharded, error) {
+	ringProto := prototype.Copy()
+	ringProto.Clear()
+	ring, err := NewTimeWindowedWithClock(ringProto, interval, windows, now)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedSharded{
+		live: NewSharded(prototype, numShards),
+		ring: ring,
+	}, nil
+}
+
+// NumShards returns the number of shards in the live ingest layer.
+func (ws *WindowedSharded) NumShards() int { return ws.live.NumShards() }
+
+// Interval returns the duration of one window slot.
+func (ws *WindowedSharded) Interval() time.Duration { return ws.ring.Interval() }
+
+// Windows returns the number of retained interval slots.
+func (ws *WindowedSharded) Windows() int { return ws.ring.Windows() }
+
+// RelativeAccuracy returns the sketches' accuracy parameter α.
+func (ws *WindowedSharded) RelativeAccuracy() float64 { return ws.live.RelativeAccuracy() }
+
+// Drain folds everything the sharded layer has absorbed since the last
+// drain into the current time window. Every query drains first, so
+// calling Drain explicitly is only needed to keep interval attribution
+// sharp: run it periodically (at least once per interval) from a ticker.
+// Writes racing with Drain land either in the drained batch or in the
+// refilling shards, never both and never lost.
+func (ws *WindowedSharded) Drain() {
+	ws.drainMu.Lock()
+	defer ws.drainMu.Unlock()
+	flushed := ws.live.Flush()
+	if flushed.IsEmpty() {
+		return
+	}
+	// Same mapping by construction, so the merge cannot fail.
+	_ = ws.ring.MergeWith(flushed)
+}
+
+// Add inserts a value into the live layer.
+func (ws *WindowedSharded) Add(value float64) error { return ws.live.Add(value) }
+
+// AddWithCount inserts a value with the given weight into the live
+// layer.
+func (ws *WindowedSharded) AddWithCount(value, count float64) error {
+	return ws.live.AddWithCount(value, count)
+}
+
+// MergeWith folds other into the live layer — the aggregator-side half
+// of the agent workflow. other is not modified.
+func (ws *WindowedSharded) MergeWith(other *DDSketch) error { return ws.live.MergeWith(other) }
+
+// DecodeAndMergeWith decodes a serialized sketch and folds it into the
+// live layer. Decoding happens outside any lock.
+func (ws *WindowedSharded) DecodeAndMergeWith(data []byte) error {
+	return ws.live.DecodeAndMergeWith(data)
+}
+
+// Trailing drains and returns a merged deep copy of the last k
+// intervals, newest first. k is clamped to [1, Windows()].
+func (ws *WindowedSharded) Trailing(k int) *DDSketch {
+	ws.Drain()
+	return ws.ring.Trailing(k)
+}
+
+// Snapshot drains and returns a merged deep copy of every retained
+// interval.
+func (ws *WindowedSharded) Snapshot() *DDSketch {
+	ws.Drain()
+	return ws.ring.Snapshot()
+}
+
+// Encode returns a binary serialization of a merged snapshot.
+func (ws *WindowedSharded) Encode() []byte { return ws.Snapshot().Encode() }
+
+// Quantile returns an α-accurate estimate of the q-quantile over all
+// retained intervals.
+func (ws *WindowedSharded) Quantile(q float64) (float64, error) {
+	return ws.Snapshot().Quantile(q)
+}
+
+// Quantiles returns α-accurate estimates for each of the given
+// quantiles, all computed against one merged snapshot.
+func (ws *WindowedSharded) Quantiles(qs []float64) ([]float64, error) {
+	return ws.Snapshot().Quantiles(qs)
+}
+
+// TrailingQuantile returns an α-accurate estimate of the q-quantile
+// over the last k intervals.
+func (ws *WindowedSharded) TrailingQuantile(q float64, k int) (float64, error) {
+	return ws.Trailing(k).Quantile(q)
+}
+
+// TrailingQuantiles returns α-accurate estimates for each of the given
+// quantiles over the last k intervals, merging once for the whole call.
+func (ws *WindowedSharded) TrailingQuantiles(qs []float64, k int) ([]float64, error) {
+	return ws.Trailing(k).Quantiles(qs)
+}
+
+// Summary returns count, sum, min, max, avg, and the requested
+// quantiles over all retained intervals in one drain-and-merge pass.
+func (ws *WindowedSharded) Summary(qs ...float64) (Summary, error) {
+	return ws.Snapshot().summarize(qs)
+}
+
+// TrailingSummary is Summary restricted to the last k intervals.
+func (ws *WindowedSharded) TrailingSummary(k int, qs ...float64) (Summary, error) {
+	return ws.Trailing(k).summarize(qs)
+}
+
+// Count drains and returns the total weight across all retained
+// intervals.
+func (ws *WindowedSharded) Count() float64 {
+	ws.Drain()
+	return ws.ring.Count()
+}
+
+// IsEmpty reports whether neither layer holds any values.
+func (ws *WindowedSharded) IsEmpty() bool { return ws.Count() <= 0 }
+
+// Sum returns the exact sum of values in the retained intervals.
+func (ws *WindowedSharded) Sum() (float64, error) {
+	ws.Drain()
+	return ws.ring.Sum()
+}
+
+// Min returns the exact minimum value in the retained intervals.
+func (ws *WindowedSharded) Min() (float64, error) {
+	ws.Drain()
+	return ws.ring.Min()
+}
+
+// Max returns the exact maximum value in the retained intervals.
+func (ws *WindowedSharded) Max() (float64, error) {
+	ws.Drain()
+	return ws.ring.Max()
+}
+
+// Avg returns the exact average of values in the retained intervals.
+func (ws *WindowedSharded) Avg() (float64, error) {
+	ws.Drain()
+	return ws.ring.Avg()
+}
+
+// CDF returns an estimate of the fraction of retained values that are
+// less than or equal to value.
+func (ws *WindowedSharded) CDF(value float64) (float64, error) {
+	return ws.Snapshot().CDF(value)
+}
+
+// Clear empties both layers and restarts the current interval.
+func (ws *WindowedSharded) Clear() {
+	ws.live.Clear()
+	ws.ring.Clear()
+}
+
+// String implements fmt.Stringer.
+func (ws *WindowedSharded) String() string {
+	return fmt.Sprintf("WindowedSharded(shards=%d, interval=%v, windows=%d, count=%g)",
+		ws.NumShards(), ws.Interval(), ws.Windows(), ws.Count())
+}
