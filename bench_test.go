@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"time"
 
 	"github.com/ddsketch-go/ddsketch"
 	"github.com/ddsketch-go/ddsketch/internal/datagen"
@@ -38,7 +39,11 @@ func datasetValues(name string, n int) []float64 {
 }
 
 // BenchmarkFig8Add measures the per-Add cost of every sketch on every
-// dataset (Figure 8's y-axis is exactly ns/op).
+// dataset (Figure 8's y-axis is exactly ns/op), plus a batch-ingest
+// series over the library's Sketch variants comparing the per-value Add
+// path against AddBatch: the plain sketch gains hoisted dispatch, the
+// concurrent variants amortize one lock (or one lock per shard chunk,
+// or one rotation check) over the whole batch.
 func BenchmarkFig8Add(b *testing.B) {
 	for _, dataset := range benchDatasets {
 		values := datasetValues(dataset, benchN)
@@ -51,6 +56,53 @@ func BenchmarkFig8Add(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	// Batch series: ns/op stays per inserted value, so the perValue and
+	// batch sub-benchmarks of each variant are directly comparable.
+	const batchSize = 1024
+	values := datasetValues("span", benchN)
+	variants := []struct {
+		name string
+		opts []ddsketch.Option
+	}{
+		{"DDSketch", nil},
+		{"Concurrent", []ddsketch.Option{ddsketch.WithMutex()}},
+		{"Sharded", []ddsketch.Option{ddsketch.WithSharding(0)}},
+		{"TimeWindowed", []ddsketch.Option{ddsketch.WithWindow(time.Hour, 4)}},
+		{"WindowedSharded", []ddsketch.Option{
+			ddsketch.WithSharding(0), ddsketch.WithWindow(time.Hour, 4)}},
+	}
+	newVariant := func(b *testing.B, opts []ddsketch.Option) ddsketch.Sketch {
+		b.Helper()
+		s, err := ddsketch.NewSketch(append([]ddsketch.Option{
+			ddsketch.WithRelativeAccuracy(harness.DDSketchAlpha),
+			ddsketch.WithMaxBins(harness.DDSketchMaxBins),
+		}, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/span/perValue", func(b *testing.B) {
+			s := newVariant(b, v.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Add(values[i%len(values)])
+			}
+		})
+		b.Run(v.name+"/span/batch", func(b *testing.B) {
+			s := newVariant(b, v.opts)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batchSize {
+				n := batchSize
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				_ = s.AddBatch(values[done%(len(values)-batchSize) : done%(len(values)-batchSize)+n])
+			}
+		})
 	}
 }
 

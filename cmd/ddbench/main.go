@@ -1,16 +1,23 @@
 // Command ddbench regenerates the tables and figures of the DDSketch
-// paper's evaluation (§4).
+// paper's evaluation (§4), and — in JSON mode — records the repo's own
+// performance trajectory in a machine-readable report that CI gates
+// against a committed baseline.
 //
 // Usage:
 //
-//	ddbench -experiment fig6              # one experiment
+//	ddbench -experiment fig6              # one experiment, text tables
 //	ddbench -experiment all -n 10000000   # everything, at 10^7 values
 //
-// Each experiment prints the same rows/series the paper plots, as an
-// aligned text table. The default N of 10^6 keeps a full run fast; the
-// paper's axes reach 10^8 (10^10 for Figure 7) and can be approached
-// with -n at the cost of runtime and memory for the exact-quantile
-// baselines.
+//	ddbench -format json -out BENCH_results.json             # record a sweep
+//	ddbench -format json -baseline BENCH_baseline.json       # record + gate
+//
+// Text mode prints the same rows/series the paper plots, as aligned
+// text tables. JSON mode runs the fixed performance sweep (ns/op for
+// add, batch-add and merge, bins, sketch bytes, and relative error, per
+// dataset × mapping), writes it to -out, and, when -baseline is given,
+// compares against it: the process exits 1 if any add-path timing
+// regresses by more than -tolerance (calibration-scaled across
+// machines) or any relative error exceeds the α guarantee.
 package main
 
 import (
@@ -25,15 +32,32 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: "+strings.Join(harness.IDs(), ", ")+", or all")
+		"experiment to run: "+strings.Join(harness.IDs(), ", ")+", or all (text mode only)")
 	n := flag.Int("n", harness.DefaultConfig().N, "maximum number of values per dataset")
 	seed := flag.Uint64("seed", 1, "seed for the dataset generators")
 	timing := flag.Bool("time", false, "print wall-clock time per experiment")
+	format := flag.String("format", "text", "output format: text (paper tables) or json (benchmark sweep)")
+	out := flag.String("out", "BENCH_results.json", "json mode: path the report is written to")
+	baseline := flag.String("baseline", "", "json mode: baseline report to compare against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "json mode: allowed fractional add-path slowdown vs the baseline")
 	flag.Parse()
 
 	cfg := harness.Config{N: *n, Seed: *seed}
-	ids := []string{*experiment}
-	if *experiment == "all" {
+	switch *format {
+	case "json":
+		runJSON(cfg, *out, *baseline, *tolerance)
+	case "text":
+		runText(cfg, *experiment, *timing)
+	default:
+		fmt.Fprintf(os.Stderr, "ddbench: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+}
+
+// runText regenerates the paper's tables, the original ddbench mode.
+func runText(cfg harness.Config, experiment string, timing bool) {
+	ids := []string{experiment}
+	if experiment == "all" {
 		ids = harness.IDs()
 	}
 	for _, id := range ids {
@@ -49,8 +73,57 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		if *timing {
+		if timing {
 			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// runJSON records the benchmark sweep and optionally gates it against a
+// baseline report.
+func runJSON(cfg harness.Config, out, baseline string, tolerance float64) {
+	report, err := harness.RunBench(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	if err := harness.WriteBenchJSON(f, report); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("ddbench: wrote %d entries to %s (calibration %.2f ns/op)\n",
+		len(report.Entries), out, report.CalibrationNsPerOp)
+	if baseline == "" {
+		return
+	}
+	bf, err := os.Open(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	base, err := harness.ReadBenchJSON(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbench:", err)
+		os.Exit(2)
+	}
+	regressions := harness.CompareBench(base, report, tolerance)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "ddbench: %d regression(s) vs %s:\n", len(regressions), baseline)
+		for _, msg := range regressions {
+			fmt.Fprintln(os.Stderr, "  -", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("ddbench: no regressions vs %s (tolerance %g%%)\n", baseline, tolerance*100)
 }

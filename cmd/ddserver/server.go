@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -53,6 +54,12 @@ type server struct {
 	cfg config
 	agg *ddsketch.WindowedSharded
 
+	// maxIndexable is the aggregate mapping's largest indexable
+	// magnitude; /values pre-validates raw values against it so a batch
+	// with an unrecordable value is rejected atomically, before anything
+	// reaches the sketch.
+	maxIndexable float64
+
 	sketchesIngested atomic.Int64
 	valuesIngested   atomic.Int64
 	started          time.Time
@@ -72,10 +79,15 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg := sketch.(*ddsketch.WindowedSharded)
 	return &server{
-		cfg:     cfg,
-		agg:     sketch.(*ddsketch.WindowedSharded),
-		started: cfg.now(),
+		cfg: cfg,
+		agg: agg,
+		// Read the bound off the sketch's own mapping (via an empty
+		// snapshot) so pre-validation can never desync from what the
+		// sketch actually rejects.
+		maxIndexable: agg.Snapshot().IndexMapping().MaxIndexableValue(),
+		started:      cfg.now(),
 	}, nil
 }
 
@@ -122,7 +134,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// readBody reads a POST body enforcing maxIngestBytes, writing the
+// readBody reads a POST body enforcing maxIngestBytes through
+// http.MaxBytesReader — which, unlike a bare LimitReader, also stops the
+// server from draining the rest of an oversized upload — writing the
 // error response itself and returning ok=false when the request is
 // unusable.
 func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
@@ -130,14 +144,15 @@ func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return nil, false
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("payload exceeds %d bytes", maxIngestBytes))
+			return nil, false
+		}
 		writeError(w, http.StatusBadRequest, err)
-		return nil, false
-	}
-	if len(body) > maxIngestBytes {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("payload exceeds %d bytes", maxIngestBytes))
 		return nil, false
 	}
 	return body, true
@@ -163,38 +178,39 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleValues accepts whitespace-separated raw values, for clients too
-// simple to sketch locally.
+// simple to sketch locally. The payload is parsed and validated in full
+// first — so a malformed or unindexable value is rejected atomically
+// rather than half-ingested — then lands in the live layer through
+// AddBatch, which takes each shard lock at most once for the whole
+// batch instead of once per value.
 func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
 	}
-	// Sketch the batch locally first, so a payload with a malformed or
-	// unindexable value is rejected atomically rather than half-ingested;
-	// the batch then lands in the live layer as a single exact merge.
-	batch, err := ddsketch.NewCollapsing(s.cfg.alpha, s.cfg.maxBins)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
 	fields := strings.Fields(string(body))
+	values := make([]float64, 0, len(fields))
 	for _, field := range fields {
 		v, err := strconv.ParseFloat(field, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing %q: %w", field, err))
 			return
 		}
-		if err := batch.Add(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("value %q: %w", field, err))
+		if math.IsNaN(v) || math.Abs(v) > s.maxIndexable {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("value %q: %w", field, ddsketch.ErrValueOutOfRange))
 			return
 		}
+		values = append(values, v)
 	}
-	if err := s.agg.MergeWith(batch); err != nil {
+	if err := s.agg.AddBatch(values); err != nil {
+		// Unreachable after validation, but a batch must never be
+		// half-acknowledged.
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.valuesIngested.Add(int64(len(fields)))
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(fields)})
+	s.valuesIngested.Add(int64(len(values)))
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(values)})
 }
 
 // quantileResult is one entry of a /quantile response.

@@ -272,6 +272,84 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+// TestServerRejectsOversizedBody: http.MaxBytesReader caps every POST
+// body, so a single agent cannot feed the aggregator an unbounded
+// payload; the server answers 413 on both ingest endpoints.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	oversized := bytes.Repeat([]byte("1 "), maxIngestBytes/2+1) // > maxIngestBytes
+	for _, path := range []string{"/values", "/ingest"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", bytes.NewReader(oversized))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized POST %s: status %d, want %d",
+				path, resp.StatusCode, http.StatusRequestEntityTooLarge)
+		}
+	}
+
+	// Nothing of the oversized batch was ingested, and the server still
+	// accepts a well-sized request afterwards.
+	getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusNotFound)
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1 2 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /values after 413: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerValuesBatchAtomicity: a /values payload containing a value
+// the sketch cannot index is rejected up front with 400 and nothing
+// half-ingested — the batch path pre-validates before touching the
+// aggregate.
+func TestServerValuesBatchAtomicity(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	// 1.79e308 parses as a finite float64 but exceeds the mapping's
+	// maximum indexable magnitude (MaxFloat64/γ).
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader("5 6 1.79e308 7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unindexable value: status %d, want 400", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/quantile?q=0.5", http.StatusNotFound)
+
+	// Sub-indexable magnitudes and negatives are legitimate: they land
+	// in the zero counter and the negative store.
+	resp, err = http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1e-320 -4 4 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /values with zeros/negatives: status %d", resp.StatusCode)
+	}
+	var accepted map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted["accepted"] != 4 {
+		t.Errorf("accepted = %d, want 4", accepted["accepted"])
+	}
+	out := getJSON(t, ts.URL+"/summary?q=0.5", http.StatusOK)
+	summary := out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 4 {
+		t.Errorf("count = %g, want 4", got)
+	}
+	if got := summary["min"].(float64); got != -4 {
+		t.Errorf("min = %g, want -4", got)
+	}
+}
+
 func TestServerDrainLoop(t *testing.T) {
 	clock := newTestClock()
 	cfg := defaultConfig()

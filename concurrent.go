@@ -36,6 +36,22 @@ func (c *Concurrent) AddWithCount(value, count float64) error {
 	return c.sketch.AddWithCount(value, count)
 }
 
+// AddBatch inserts every value under a single lock acquisition, where
+// the equivalent per-value Add loop would lock once per value.
+func (c *Concurrent) AddBatch(values []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.AddBatch(values)
+}
+
+// AddBatchWithCount inserts every value with the given weight under a
+// single lock acquisition.
+func (c *Concurrent) AddBatchWithCount(values []float64, count float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sketch.AddBatchWithCount(values, count)
+}
+
 // Delete removes one previously added occurrence of value.
 func (c *Concurrent) Delete(value float64) error {
 	c.mu.Lock()

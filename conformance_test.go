@@ -174,6 +174,246 @@ func ddsketchOf(t *testing.T, values []float64) *ddsketch.DDSketch {
 	return s
 }
 
+// batchConfValues builds a batch workload exercising every routing path:
+// positives, negatives (negative store), zeros and sub-indexable
+// magnitudes (zero counter).
+func batchConfValues(n int) []float64 {
+	values := datagen.ByName("pareto", n)
+	out := append([]float64(nil), values...)
+	for i := range out {
+		switch {
+		case i%7 == 3:
+			out[i] = -out[i]
+		case i%11 == 5:
+			out[i] = 0
+		case i%13 == 7:
+			out[i] = 1e-310 // sub-indexable: routed to the zero counter
+		}
+	}
+	return out
+}
+
+// collectBins flattens a plain sketch into its (representative value,
+// count) pairs in ascending value order.
+func collectBins(s *ddsketch.DDSketch) [][2]float64 {
+	var bins [][2]float64
+	s.ForEach(func(value, count float64) bool {
+		bins = append(bins, [2]float64{value, count})
+		return true
+	})
+	return bins
+}
+
+// assertBinIdentical fails unless got and want hold exactly the same
+// bins with exactly the same counts.
+func assertBinIdentical(t *testing.T, got, want *ddsketch.DDSketch) {
+	t.Helper()
+	gotBins, wantBins := collectBins(got), collectBins(want)
+	if len(gotBins) != len(wantBins) {
+		t.Fatalf("bin count %d != %d", len(gotBins), len(wantBins))
+	}
+	for i := range gotBins {
+		if gotBins[i] != wantBins[i] {
+			t.Errorf("bin %d: (value, count) = %v, want %v", i, gotBins[i], wantBins[i])
+		}
+	}
+}
+
+// TestConformanceAddBatch: every variant's AddBatch is bin-for-bin
+// identical to the equivalent per-value Add loop — including an empty
+// batch in the middle, negatives and zeros routed to their stores, and
+// identical exact statistics.
+func TestConformanceAddBatch(t *testing.T) {
+	values := batchConfValues(confN)
+	for name, batched := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			perValue := conformanceVariants(t)[name]
+			fillAll(t, perValue, values)
+
+			// Several batches of uneven sizes, plus empty and nil ones.
+			if err := batched.AddBatch(nil); err != nil {
+				t.Fatalf("AddBatch(nil): %v", err)
+			}
+			for lo, step := 0, 1; lo < len(values); step *= 3 {
+				hi := lo + step
+				if hi > len(values) {
+					hi = len(values)
+				}
+				if err := batched.AddBatch(values[lo:hi]); err != nil {
+					t.Fatalf("AddBatch[%d:%d]: %v", lo, hi, err)
+				}
+				if err := batched.AddBatch([]float64{}); err != nil {
+					t.Fatalf("AddBatch(empty): %v", err)
+				}
+				lo = hi
+			}
+
+			assertBinIdentical(t, batched.Snapshot(), perValue.Snapshot())
+			if got, want := batched.Count(), perValue.Count(); got != want {
+				t.Errorf("Count = %g, want %g", got, want)
+			}
+			for stat, pair := range map[string][2]func() (float64, error){
+				"Min": {batched.Min, perValue.Min},
+				"Max": {batched.Max, perValue.Max},
+			} {
+				if got, want := mustQuery(t, pair[0]), mustQuery(t, pair[1]); got != want {
+					t.Errorf("%s = %g, want %g", stat, got, want)
+				}
+			}
+			// Sum accumulation order differs across shards, so exact
+			// float equality is only guaranteed for the unsharded
+			// variants; everywhere it agrees to rounding error.
+			got, want := mustQuery(t, batched.Sum), mustQuery(t, perValue.Sum)
+			if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-9 {
+				t.Errorf("Sum = %g, want %g (rel %g)", got, want, rel)
+			}
+		})
+	}
+}
+
+// TestConformanceAddBatchWithCount: the weighted batch path matches the
+// equivalent AddWithCount loop.
+func TestConformanceAddBatchWithCount(t *testing.T) {
+	values := batchConfValues(4000)
+	const weight = 2.5
+	for name, batched := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			perValue := conformanceVariants(t)[name]
+			for _, v := range values {
+				if err := perValue.AddWithCount(v, weight); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := batched.AddBatchWithCount(values, weight); err != nil {
+				t.Fatal(err)
+			}
+			assertBinIdentical(t, batched.Snapshot(), perValue.Snapshot())
+			if got, want := batched.Count(), perValue.Count(); got != want {
+				t.Errorf("Count = %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+// TestConformanceAddBatchErrors: an invalid count is rejected up front;
+// a value that cannot be indexed stops the batch exactly where the
+// per-value loop would, leaving the prefix recorded.
+func TestConformanceAddBatchErrors(t *testing.T) {
+	for name, s := range conformanceVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, count := range []float64{0, -1, math.NaN()} {
+				if err := s.AddBatchWithCount([]float64{1, 2}, count); !errors.Is(err, ddsketch.ErrNegativeCount) {
+					t.Errorf("count %v: err = %v, want ErrNegativeCount", count, err)
+				}
+			}
+			if got := s.Count(); got != 0 {
+				t.Fatalf("Count after rejected counts = %g, want 0", got)
+			}
+
+			for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64} {
+				s.Clear()
+				err := s.AddBatch([]float64{1, 2, bad, 3})
+				if !errors.Is(err, ddsketch.ErrValueOutOfRange) {
+					t.Errorf("bad value %v: err = %v, want ErrValueOutOfRange", bad, err)
+				}
+				if got := s.Count(); got != 2 {
+					t.Errorf("bad value %v: Count = %g, want 2 (prefix recorded)", bad, got)
+				}
+			}
+		})
+	}
+}
+
+// tickingClock advances on every reading — the adversarial clock for
+// batch/rotation interplay: a per-value loop against it would scatter a
+// batch across windows.
+type tickingClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *tickingClock) Now() time.Time {
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// TestAddBatchSingleRotationCheck: a batch performs exactly one rotation
+// check, attributing every value to the interval current when the batch
+// begins — even when the clock crosses interval boundaries while the
+// batch is in flight.
+func TestAddBatchSingleRotationCheck(t *testing.T) {
+	clock := &tickingClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), step: time.Second}
+	s, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(confAlpha),
+		ddsketch.WithMaxBins(confMaxBins),
+		ddsketch.WithWindow(time.Minute, 4),
+		ddsketch.WithClock(clock.Now),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.(*ddsketch.TimeWindowed)
+
+	// 120 values: at one clock tick per value, a per-value loop would
+	// rotate mid-stream and split the batch across two intervals.
+	batch := make([]float64, 120)
+	for i := range batch {
+		batch[i] = 7
+	}
+	if err := w.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Trailing(1).Count(); got != float64(len(batch)) {
+		t.Errorf("current-interval count = %g, want %d (batch split across a rotation)",
+			got, len(batch))
+	}
+}
+
+// TestAddBatchAcrossWindowRotation: batches issued in different
+// intervals land in different ring slots, and the merged view matches
+// the per-value reference driven by the same clock readings.
+func TestAddBatchAcrossWindowRotation(t *testing.T) {
+	values := batchConfValues(8000)
+	build := func(clock *fakeClock) *ddsketch.TimeWindowed {
+		t.Helper()
+		s, err := ddsketch.NewSketch(
+			ddsketch.WithRelativeAccuracy(confAlpha),
+			ddsketch.WithMaxBins(confMaxBins),
+			ddsketch.WithWindow(time.Minute, 4),
+			ddsketch.WithClock(clock.Now),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.(*ddsketch.TimeWindowed)
+	}
+	batchClock, refClock := newFakeClock(), newFakeClock()
+	batched, reference := build(batchClock), build(refClock)
+
+	quarter := len(values) / 4
+	for i := 0; i < 4; i++ {
+		part := values[i*quarter : (i+1)*quarter]
+		if err := batched.AddBatch(part); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range part {
+			if err := reference.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batchClock.Advance(time.Minute)
+		refClock.Advance(time.Minute)
+	}
+	assertBinIdentical(t, batched.Snapshot(), reference.Snapshot())
+	// Per-interval attribution also matches: each trailing depth sees
+	// the same count.
+	for k := 1; k <= 4; k++ {
+		if got, want := batched.Trailing(k).Count(), reference.Trailing(k).Count(); got != want {
+			t.Errorf("Trailing(%d) count = %g, want %g", k, got, want)
+		}
+	}
+}
+
 // TestConformanceClearSemantics: Clear empties the sketch, queries on
 // the emptied sketch fail with ErrEmptySketch, and the sketch remains
 // usable afterwards.

@@ -1,3 +1,4 @@
 module github.com/ddsketch-go/ddsketch
 
-go 1.24
+// 1.23 is the oldest toolchain CI exercises; see .github/workflows/ci.yml.
+go 1.23

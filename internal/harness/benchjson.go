@@ -1,0 +1,347 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+	"github.com/ddsketch-go/ddsketch/mapping"
+)
+
+// This file is the machine-readable face of the performance harness:
+// `ddbench -format json` runs a fixed, reproducible sweep (the same
+// quantities as Figures 6–10: add/batch-add/merge speed, bins, bytes,
+// relative error, per dataset × mapping), writes it as JSON, and
+// CompareBench gates a current report against a committed baseline —
+// the trajectory recorder the paper's "fast" claim needs in CI.
+
+// BenchSchemaVersion identifies the report layout; bump it when fields
+// change incompatibly so stale baselines fail loudly instead of
+// comparing garbage.
+const BenchSchemaVersion = 1
+
+// BenchEntry is one dataset × mapping measurement.
+type BenchEntry struct {
+	Dataset string `json:"dataset"`
+	Mapping string `json:"mapping"`
+	N       int    `json:"n"`
+
+	// Insertion speed: per-value Add loop vs the AddBatch fast path
+	// (chunks of BenchBatchSize), both in ns per inserted value.
+	AddNsPerOp      float64 `json:"add_ns_per_op"`
+	BatchAddNsPerOp float64 `json:"batch_add_ns_per_op"`
+	// MergeNsPerOp is the cost of merging two sketches of N/2 values.
+	MergeNsPerOp float64 `json:"merge_ns_per_op"`
+
+	Bins        int `json:"bins"`
+	SketchBytes int `json:"sketch_bytes"`
+
+	RelErrP50 float64 `json:"rel_err_p50"`
+	RelErrP95 float64 `json:"rel_err_p95"`
+	RelErrP99 float64 `json:"rel_err_p99"`
+}
+
+// BenchReport is the output of one sweep.
+type BenchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoOS          string `json:"goos"`
+	GoArch        string `json:"goarch"`
+	N             int    `json:"n"`
+	Seed          uint64 `json:"seed"`
+
+	// CalibrationNsPerOp is the measured cost of a fixed scalar
+	// workload on the machine that produced the report. Timings are
+	// compared across machines as multiples of it, so a baseline
+	// recorded on slow hardware still gates a fast CI runner (and vice
+	// versa). Pinned hardware would make it unnecessary; see ROADMAP.
+	CalibrationNsPerOp float64 `json:"calibration_ns_per_op"`
+
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchBatchSize is the chunk size the batch-add measurement feeds to
+// AddBatch — large enough to amortize per-batch costs, small enough to
+// stay cache-resident.
+const BenchBatchSize = 1024
+
+// benchMappings are the index mappings the sweep covers: the
+// memory-optimal logarithmic mapping and the three §2.2 interpolated
+// ones ("DDSketch fast" is the linear row).
+var benchMappings = []struct {
+	name string
+	new  func(float64) (mapping.IndexMapping, error)
+}{
+	{"log", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }},
+	{"linear", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLinearlyInterpolated(a) }},
+	{"quadratic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewQuadraticallyInterpolated(a) }},
+	{"cubic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewCubicallyInterpolated(a) }},
+}
+
+// benchReps is how many times each timed section runs; the fastest rep
+// is kept, the standard way to reject scheduler noise on shared runners.
+const benchReps = 3
+
+// RunBench runs the JSON sweep at the given scale.
+func RunBench(cfg Config) (BenchReport, error) {
+	if cfg.N <= 0 {
+		cfg.N = DefaultConfig().N
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	report := BenchReport{
+		SchemaVersion:      BenchSchemaVersion,
+		GoOS:               runtime.GOOS,
+		GoArch:             runtime.GOARCH,
+		N:                  cfg.N,
+		Seed:               cfg.Seed,
+		CalibrationNsPerOp: calibrate(),
+	}
+	for _, dataset := range datagen.Names() {
+		values := datagen.ByName(dataset, cfg.N)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		for _, bm := range benchMappings {
+			entry, err := benchEntry(dataset, bm.name, bm.new, values, sorted)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			report.Entries = append(report.Entries, entry)
+		}
+	}
+	return report, nil
+}
+
+// benchEntry measures one dataset × mapping cell.
+func benchEntry(dataset, mappingName string, newMapping func(float64) (mapping.IndexMapping, error),
+	values, sorted []float64) (BenchEntry, error) {
+	newSketch := func() (*ddsketch.DDSketch, error) {
+		m, err := newMapping(DDSketchAlpha)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ddsketch.NewSketch(ddsketch.WithMapping(m), ddsketch.WithMaxBins(DDSketchMaxBins))
+		if err != nil {
+			return nil, err
+		}
+		return s.(*ddsketch.DDSketch), nil
+	}
+	entry := BenchEntry{Dataset: dataset, Mapping: mappingName, N: len(values)}
+
+	// Per-value add path.
+	var filled *ddsketch.DDSketch
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		s, err := newSketch()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		start := time.Now()
+		for _, v := range values {
+			_ = s.Add(v)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		filled = s
+	}
+	entry.AddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Batch add path, in BenchBatchSize chunks.
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		s, err := newSketch()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		start := time.Now()
+		for lo := 0; lo < len(values); lo += BenchBatchSize {
+			hi := lo + BenchBatchSize
+			if hi > len(values) {
+				hi = len(values)
+			}
+			_ = s.AddBatch(values[lo:hi])
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.BatchAddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Merge of two half-sketches.
+	half := len(values) / 2
+	src, err := newSketch()
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	_ = src.AddBatch(values[half:])
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		dst, err := newSketch()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		_ = dst.AddBatch(values[:half])
+		start := time.Now()
+		if err := dst.MergeWith(src); err != nil {
+			return BenchEntry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.MergeNsPerOp = float64(best.Nanoseconds())
+
+	entry.Bins = filled.NumBins()
+	entry.SketchBytes = filled.SizeBytes()
+	for _, probe := range []struct {
+		q   float64
+		dst *float64
+	}{{0.5, &entry.RelErrP50}, {0.95, &entry.RelErrP95}, {0.99, &entry.RelErrP99}} {
+		est, err := filled.Quantile(probe.q)
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		*probe.dst = exact.RelativeError(est, exact.Quantile(sorted, probe.q))
+	}
+	return entry, nil
+}
+
+// calibrationSink keeps the calibration loop's work observable so the
+// compiler cannot remove it.
+var calibrationSink float64
+
+// calibrate times a fixed scalar workload (a polynomial accumulation
+// over a small array) whose cost tracks the same scalar-FP/cache-local
+// profile as sketch insertion. Reports embed it so CompareBench can
+// rescale timings across machines of different speeds.
+func calibrate() float64 {
+	const size = 4096
+	const passes = 2000
+	arr := make([]float64, size)
+	for i := range arr {
+		arr[i] = 1 + float64(i%997)/997
+	}
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		acc := 0.0
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, v := range arr {
+				acc += v*1.0000001 + acc*1e-12
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		calibrationSink = acc
+	}
+	return float64(best.Nanoseconds()) / float64(size*passes)
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(w io.Writer, report BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// ReadBenchJSON reads a report written by WriteBenchJSON.
+func ReadBenchJSON(r io.Reader) (BenchReport, error) {
+	var report BenchReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return BenchReport{}, fmt.Errorf("harness: decoding bench report: %w", err)
+	}
+	return report, nil
+}
+
+// CompareBench gates current against baseline: it returns one message
+// per regression, empty when the gate passes.
+//
+// Timing gate: an add-path measurement (add or batch-add ns/op) may not
+// exceed the baseline's by more than tolerance (e.g. 0.25 for 25%),
+// after rescaling the baseline by the two reports' calibration ratio so
+// machines of different speeds compare meaningfully. Merge timings are
+// reported but not gated (they are µs-scale and noisy at small N).
+//
+// Accuracy gate: relative error must stay within the α guarantee —
+// a deterministic property, gated with no tolerance.
+func CompareBench(baseline, current BenchReport, tolerance float64) []string {
+	var regressions []string
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return []string{fmt.Sprintf("schema version mismatch: baseline %d vs current %d (regenerate the baseline)",
+			baseline.SchemaVersion, current.SchemaVersion)}
+	}
+	scale := 1.0
+	if baseline.CalibrationNsPerOp > 0 && current.CalibrationNsPerOp > 0 {
+		scale = current.CalibrationNsPerOp / baseline.CalibrationNsPerOp
+	}
+	base := make(map[string]BenchEntry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Dataset+"/"+e.Mapping] = e
+	}
+	covered := make(map[string]bool, len(current.Entries))
+	matched := 0
+	for _, cur := range current.Entries {
+		covered[cur.Dataset+"/"+cur.Mapping] = true
+		b, ok := base[cur.Dataset+"/"+cur.Mapping]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.N != cur.N {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: N mismatch (baseline %d vs current %d); rerun with the baseline's -n",
+				cur.Dataset, cur.Mapping, b.N, cur.N))
+			continue
+		}
+		for _, gate := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"add", b.AddNsPerOp, cur.AddNsPerOp},
+			{"batch-add", b.BatchAddNsPerOp, cur.BatchAddNsPerOp},
+		} {
+			allowed := gate.base * scale * (1 + tolerance)
+			if gate.base > 0 && gate.cur > allowed {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: %s path %.1f ns/op exceeds baseline %.1f ns/op ×%.2f (calibration-scaled) by more than %g%%",
+					cur.Dataset, cur.Mapping, gate.name, gate.cur, gate.base, scale, tolerance*100))
+			}
+		}
+		for _, acc := range []struct {
+			name string
+			err  float64
+		}{
+			{"p50", cur.RelErrP50}, {"p95", cur.RelErrP95}, {"p99", cur.RelErrP99},
+		} {
+			if acc.err > DDSketchAlpha+1e-9 {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s/%s: %s relative error %.3e exceeds the α=%g guarantee",
+					cur.Dataset, cur.Mapping, acc.name, acc.err, DDSketchAlpha))
+			}
+		}
+	}
+	// A baseline cell with no counterpart in the current report means a
+	// dataset or mapping silently dropped out of the sweep — a coverage
+	// regression the timing gates above cannot see.
+	for _, e := range baseline.Entries {
+		if !covered[e.Dataset+"/"+e.Mapping] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: baseline entry missing from the current report (cell dropped from the sweep?)",
+				e.Dataset, e.Mapping))
+		}
+	}
+	if matched == 0 {
+		regressions = append(regressions,
+			"no baseline entries matched the current report (regenerate the baseline)")
+	}
+	return regressions
+}

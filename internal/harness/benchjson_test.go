@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// benchTestConfig keeps the sweep test-sized.
+var benchTestConfig = Config{N: 5_000, Seed: 1}
+
+// TestRunBenchProducesCompleteReport: the sweep covers every dataset ×
+// mapping cell with populated, sane measurements, and round-trips
+// through its JSON encoding.
+func TestRunBenchProducesCompleteReport(t *testing.T) {
+	report, err := RunBench(benchTestConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", report.SchemaVersion, BenchSchemaVersion)
+	}
+	if report.CalibrationNsPerOp <= 0 {
+		t.Errorf("CalibrationNsPerOp = %g, want > 0", report.CalibrationNsPerOp)
+	}
+	wantEntries := 0
+	seen := map[string]bool{}
+	for _, e := range report.Entries {
+		seen[e.Dataset+"/"+e.Mapping] = true
+		wantEntries++
+		if e.N != benchTestConfig.N {
+			t.Errorf("%s/%s: N = %d, want %d", e.Dataset, e.Mapping, e.N, benchTestConfig.N)
+		}
+		if e.AddNsPerOp <= 0 || e.BatchAddNsPerOp <= 0 || e.MergeNsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive timing %+v", e.Dataset, e.Mapping, e)
+		}
+		if e.Bins <= 0 || e.SketchBytes <= 0 {
+			t.Errorf("%s/%s: empty sketch measured (bins %d, bytes %d)",
+				e.Dataset, e.Mapping, e.Bins, e.SketchBytes)
+		}
+		for q, relErr := range map[string]float64{
+			"p50": e.RelErrP50, "p95": e.RelErrP95, "p99": e.RelErrP99,
+		} {
+			if relErr > DDSketchAlpha+1e-9 {
+				t.Errorf("%s/%s: %s relative error %g exceeds α", e.Dataset, e.Mapping, q, relErr)
+			}
+		}
+	}
+	if got := len(seen); got != wantEntries {
+		t.Errorf("duplicate dataset/mapping cells: %d unique of %d", got, wantEntries)
+	}
+	for _, m := range benchMappings {
+		if !seen["pareto/"+m.name] {
+			t.Errorf("missing entry pareto/%s", m.name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Entries) != len(report.Entries) {
+		t.Errorf("round-trip lost entries: %d vs %d", len(decoded.Entries), len(report.Entries))
+	}
+
+	// A report never regresses against itself.
+	if regressions := CompareBench(report, report, 0.25); len(regressions) != 0 {
+		t.Errorf("self-comparison reported regressions: %v", regressions)
+	}
+}
+
+// benchFixture builds a minimal two-entry report for the compare tests.
+func benchFixture() BenchReport {
+	return BenchReport{
+		SchemaVersion:      BenchSchemaVersion,
+		N:                  1000,
+		CalibrationNsPerOp: 2,
+		Entries: []BenchEntry{
+			{Dataset: "pareto", Mapping: "log", N: 1000,
+				AddNsPerOp: 30, BatchAddNsPerOp: 20, MergeNsPerOp: 1000,
+				Bins: 100, SketchBytes: 2000,
+				RelErrP50: 0.005, RelErrP95: 0.006, RelErrP99: 0.007},
+			{Dataset: "span", Mapping: "linear", N: 1000,
+				AddNsPerOp: 20, BatchAddNsPerOp: 12, MergeNsPerOp: 1500,
+				Bins: 200, SketchBytes: 3000,
+				RelErrP50: 0.004, RelErrP95: 0.005, RelErrP99: 0.006},
+		},
+	}
+}
+
+func TestCompareBenchGates(t *testing.T) {
+	baseline := benchFixture()
+
+	t.Run("pass within tolerance", func(t *testing.T) {
+		current := benchFixture()
+		current.Entries[0].AddNsPerOp = 36 // +20% < 25%
+		if got := CompareBench(baseline, current, 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none", got)
+		}
+	})
+
+	t.Run("add regression caught", func(t *testing.T) {
+		current := benchFixture()
+		current.Entries[0].AddNsPerOp = 40 // +33% > 25%
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "pareto/log") || !strings.Contains(got[0], "add path") {
+			t.Errorf("regressions = %v, want one pareto/log add-path regression", got)
+		}
+	})
+
+	t.Run("batch-add regression caught", func(t *testing.T) {
+		current := benchFixture()
+		current.Entries[1].BatchAddNsPerOp = 20 // +67%
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "span/linear") || !strings.Contains(got[0], "batch-add") {
+			t.Errorf("regressions = %v, want one span/linear batch-add regression", got)
+		}
+	})
+
+	t.Run("calibration rescales across machines", func(t *testing.T) {
+		// The current machine is 2× slower; timings doubled across the
+		// board are not a regression.
+		current := benchFixture()
+		current.CalibrationNsPerOp = 4
+		for i := range current.Entries {
+			current.Entries[i].AddNsPerOp *= 2
+			current.Entries[i].BatchAddNsPerOp *= 2
+		}
+		if got := CompareBench(baseline, current, 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none after calibration scaling", got)
+		}
+		// But a 2× slowdown on a same-speed machine is one.
+		current.CalibrationNsPerOp = 2
+		if got := CompareBench(baseline, current, 0.25); len(got) == 0 {
+			t.Error("2x slowdown at equal calibration not caught")
+		}
+	})
+
+	t.Run("accuracy breach caught", func(t *testing.T) {
+		current := benchFixture()
+		current.Entries[0].RelErrP99 = 0.02 // above α = 0.01
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "p99") {
+			t.Errorf("regressions = %v, want one p99 accuracy breach", got)
+		}
+	})
+
+	t.Run("n mismatch flagged", func(t *testing.T) {
+		current := benchFixture()
+		for i := range current.Entries {
+			current.Entries[i].N = 2000
+		}
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != len(current.Entries) {
+			t.Errorf("regressions = %v, want one N-mismatch per entry", got)
+		}
+	})
+
+	t.Run("schema mismatch fails loudly", func(t *testing.T) {
+		current := benchFixture()
+		current.SchemaVersion = BenchSchemaVersion + 1
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "schema") {
+			t.Errorf("regressions = %v, want schema mismatch", got)
+		}
+	})
+
+	t.Run("dropped cell flagged", func(t *testing.T) {
+		// A baseline cell absent from the current report is a coverage
+		// regression, not a silent pass.
+		current := benchFixture()
+		current.Entries = current.Entries[:1]
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "span/linear") || !strings.Contains(got[0], "missing") {
+			t.Errorf("regressions = %v, want one span/linear missing-cell error", got)
+		}
+	})
+
+	t.Run("empty intersection flagged", func(t *testing.T) {
+		current := benchFixture()
+		for i := range current.Entries {
+			current.Entries[i].Dataset = "other"
+		}
+		got := CompareBench(baseline, current, 0.25)
+		// Every baseline cell is reported missing, plus the no-match error.
+		if want := len(baseline.Entries) + 1; len(got) != want {
+			t.Errorf("got %d regressions %v, want %d", len(got), got, want)
+		}
+		if !strings.Contains(strings.Join(got, "\n"), "no baseline entries") {
+			t.Errorf("regressions = %v, want empty-intersection error", got)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package mapping_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch/mapping"
+)
+
+// FuzzMappingRoundTrip asserts Lemma 2's guarantee over arbitrary
+// inputs, for every mapping kind: for any α and any value in the
+// indexable range, Value(Index(v)) is within relative distance α of v,
+// and buckets respect their declared lower bounds. This is the property
+// the whole sketch's accuracy rests on; the CI fuzz smoke step exercises
+// it alongside FuzzDecode.
+func FuzzMappingRoundTrip(f *testing.F) {
+	f.Add(0.01, 1.0, byte(0))
+	f.Add(0.01, 1e-300, byte(1))
+	f.Add(0.05, 12345.678, byte(2))
+	f.Add(0.001, 1e300, byte(3))
+	f.Add(0.5, 2.0, byte(0))
+	f.Add(0.0078125, 0x1p-1021, byte(2)) // near the bottom of the normal range
+
+	newMapping := func(alpha float64, kind byte) (mapping.IndexMapping, error) {
+		switch kind % 4 {
+		case 0:
+			return mapping.NewLogarithmic(alpha)
+		case 1:
+			return mapping.NewLinearlyInterpolated(alpha)
+		case 2:
+			return mapping.NewQuadraticallyInterpolated(alpha)
+		default:
+			return mapping.NewCubicallyInterpolated(alpha)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, alpha, value float64, kind byte) {
+		m, err := newMapping(alpha, kind)
+		if err != nil {
+			// Invalid α must be rejected by every constructor, never
+			// half-accepted.
+			if alpha > 0 && alpha < 1 && !math.IsNaN(alpha) {
+				t.Fatalf("kind %d rejected valid alpha %v: %v", kind%4, alpha, err)
+			}
+			return
+		}
+		if math.IsNaN(value) || math.IsInf(value, 0) ||
+			value < m.MinIndexableValue() || value > m.MaxIndexableValue() {
+			return
+		}
+		index := m.Index(value)
+		back := m.Value(index)
+		if rel := math.Abs(back-value) / value; rel > alpha*(1+1e-9)+1e-12 {
+			t.Errorf("kind %d alpha %v: Value(Index(%g)) = %g, relative error %g exceeds alpha",
+				kind%4, alpha, value, back, rel)
+		}
+		// The bucket's representative value lies within the bucket:
+		// (LowerBound(index), LowerBound(index+1)], up to float slop.
+		lo, hi := m.LowerBound(index), m.LowerBound(index+1)
+		if back < lo*(1-1e-9) || back > hi*(1+1e-9) {
+			t.Errorf("kind %d alpha %v: representative %g outside bucket (%g, %g]",
+				kind%4, alpha, back, lo, hi)
+		}
+	})
+}

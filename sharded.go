@@ -112,6 +112,58 @@ func (s *Sharded) AddWithCount(value, count float64) error {
 	return err
 }
 
+// shardBatchMinChunk is the smallest slice of a batch worth dispatching
+// to its own shard: below it, amortizing one lock over more values beats
+// spreading the load, so small batches touch few shards (a batch under
+// the threshold takes exactly one lock).
+const shardBatchMinChunk = 128
+
+// AddBatch partitions the batch into contiguous chunks, one per shard,
+// so each shard lock is acquired at most once per batch — versus once
+// per value for the equivalent Add loop. Because merges are exact, how
+// values split across shards never changes any answer.
+func (s *Sharded) AddBatch(values []float64) error { return s.AddBatchWithCount(values, 1) }
+
+// AddBatchWithCount inserts every value with the given weight, taking
+// each shard lock at most once. Chunks are processed in order, so a
+// value that cannot be recorded stops the batch with the values before
+// it recorded, exactly like the per-value loop.
+func (s *Sharded) AddBatchWithCount(values []float64, count float64) error {
+	if math.IsNaN(count) || count <= 0 {
+		return fmt.Errorf("%w: got %v", ErrNegativeCount, count)
+	}
+	n := len(values)
+	if n == 0 {
+		return nil
+	}
+	chunks := (n + shardBatchMinChunk - 1) / shardBatchMinChunk
+	if chunks > len(s.shards) {
+		chunks = len(s.shards)
+	}
+	chunkSize := (n + chunks - 1) / chunks
+	// Start at a random shard so concurrent batch writers spread out;
+	// consecutive offsets keep the chunks on distinct shards.
+	start := rand.Uint64()
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		sh := &s.shards[(start+uint64(c))&s.mask]
+		sh.mu.Lock()
+		err := sh.sketch.AddBatchWithCount(values[lo:hi], count)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MergeWith folds other into one of the shards. Because merges add
 // bucket counts exactly, folding into any single shard is equivalent to
 // folding into the whole; picking one at random lets concurrent

@@ -21,6 +21,18 @@ type Sketch interface {
 	Add(value float64) error
 	// AddWithCount inserts a value with the given positive weight.
 	AddWithCount(value, count float64) error
+	// AddBatch inserts every value in order, answering exactly as the
+	// equivalent per-value Add loop would, but with the per-value costs
+	// (lock acquisitions, rotation checks, interface dispatch) amortized
+	// over the batch. On the first value that cannot be recorded it stops
+	// and returns the error, leaving the values before it recorded —
+	// again exactly as the per-value loop would. An empty batch is a
+	// no-op.
+	AddBatch(values []float64) error
+	// AddBatchWithCount is AddBatch with every value carrying the given
+	// positive weight. An invalid count is rejected up front, before any
+	// value is recorded.
+	AddBatchWithCount(values []float64, count float64) error
 
 	// Quantile returns an α-accurate estimate of the q-quantile.
 	Quantile(q float64) (float64, error)

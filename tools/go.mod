@@ -1,0 +1,16 @@
+// Module tools pins developer tooling so CI and contributors install
+// identical versions from one place instead of `go install ...@version`
+// scattered across scripts. It is a separate module on purpose: the
+// main module keeps zero dependencies, and offline builds of the
+// library never resolve tool requirements.
+//
+// Install (network required):
+//
+//	go install -C tools -mod=mod honnef.co/go/tools/cmd/staticcheck
+module github.com/ddsketch-go/ddsketch/tools
+
+go 1.24
+
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1 // staticcheck 2025.1.1

@@ -109,6 +109,22 @@ func (w *TimeWindowed) AddWithCount(value, count float64) error {
 	return w.ring[w.head].AddWithCount(value, count)
 }
 
+// AddBatch inserts every value into the current interval with a single
+// lock acquisition and a single rotation check for the whole batch: the
+// batch is attributed atomically to the interval current when it begins,
+// where the per-value loop would re-check rotation on every value.
+func (w *TimeWindowed) AddBatch(values []float64) error { return w.AddBatchWithCount(values, 1) }
+
+// AddBatchWithCount inserts every value with the given weight into the
+// current interval, with one lock acquisition and one rotation check per
+// batch.
+func (w *TimeWindowed) AddBatchWithCount(values []float64, count float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	return w.ring[w.head].AddBatchWithCount(values, count)
+}
+
 // MergeWith folds other into the current interval — the aggregator-side
 // half of the agent workflow, attributing an arriving sketch to the
 // interval in which it arrived. other is not modified.

@@ -98,6 +98,17 @@ func (ws *WindowedSharded) AddWithCount(value, count float64) error {
 	return ws.live.AddWithCount(value, count)
 }
 
+// AddBatch inserts every value into the live layer through its
+// chunk-per-shard batch path, so each shard lock is acquired at most
+// once per batch.
+func (ws *WindowedSharded) AddBatch(values []float64) error { return ws.live.AddBatch(values) }
+
+// AddBatchWithCount inserts every value with the given weight into the
+// live layer through its batch path.
+func (ws *WindowedSharded) AddBatchWithCount(values []float64, count float64) error {
+	return ws.live.AddBatchWithCount(values, count)
+}
+
 // MergeWith folds other into the live layer — the aggregator-side half
 // of the agent workflow. other is not modified.
 func (ws *WindowedSharded) MergeWith(other *DDSketch) error { return ws.live.MergeWith(other) }
