@@ -39,7 +39,9 @@ func main() {
 	cfg := defaultConfig()
 	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
 	flag.Float64Var(&cfg.alpha, "alpha", cfg.alpha, "relative accuracy α of the aggregate sketch")
-	flag.IntVar(&cfg.maxBins, "max-bins", cfg.maxBins, "bucket limit per store (collapsing lowest)")
+	flag.IntVar(&cfg.maxBins, "max-bins", cfg.maxBins, "bucket budget (per store when collapsing lowest, total when uniform)")
+	flag.BoolVar(&cfg.uniform, "uniform-collapse", cfg.uniform,
+		"collapse uniformly under the bin budget (UDDSketch: degrade α everywhere) instead of lowest-first")
 	flag.IntVar(&cfg.shards, "shards", cfg.shards, "ingest shard count (0 = auto from GOMAXPROCS)")
 	flag.DurationVar(&cfg.interval, "window", cfg.interval, "duration of one aggregation window")
 	flag.IntVar(&cfg.windows, "windows", cfg.windows, "number of retained windows")

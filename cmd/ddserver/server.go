@@ -24,7 +24,8 @@ const maxIngestBytes = 1 << 20
 type config struct {
 	addr     string
 	alpha    float64       // relative accuracy α of the aggregate sketch
-	maxBins  int           // bin limit per store (collapsing lowest)
+	maxBins  int           // bin budget per store (lowest) or in total (uniform)
+	uniform  bool          // collapse uniformly (UDDSketch) instead of lowest-first
 	shards   int           // shard count for the live ingest layer (0 = auto)
 	interval time.Duration // duration of one aggregation window
 	windows  int           // number of retained windows
@@ -69,9 +70,16 @@ func newServer(cfg config) (*server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	boundOpt := ddsketch.WithMaxBins(cfg.maxBins)
+	if cfg.uniform {
+		// UDDSketch mode: degrade α uniformly under the bin budget
+		// instead of sacrificing the lowest quantiles. Shards and window
+		// slots collapse independently and reconcile on merge.
+		boundOpt = ddsketch.WithUniformCollapse(cfg.maxBins)
+	}
 	sketch, err := ddsketch.NewSketch(
 		ddsketch.WithRelativeAccuracy(cfg.alpha),
-		ddsketch.WithMaxBins(cfg.maxBins),
+		boundOpt,
 		ddsketch.WithSharding(cfg.shards),
 		ddsketch.WithWindow(cfg.interval, cfg.windows),
 		ddsketch.WithClock(cfg.now),
@@ -342,8 +350,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	collapseMode := "lowest"
+	if s.cfg.uniform {
+		collapseMode = "uniform"
+	}
 	stats := map[string]any{
 		"relative_accuracy": s.agg.RelativeAccuracy(),
+		"collapse_mode":     collapseMode,
 		"shards":            s.agg.NumShards(),
 		"window_interval":   s.cfg.interval.String(),
 		"windows":           s.agg.Windows(),
@@ -359,8 +372,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["p50"] = summary.Quantiles[0].Value
 		stats["p95"] = summary.Quantiles[1].Value
 		stats["p99"] = summary.Quantiles[2].Value
+		// Under uniform collapse the served accuracy degrades with the
+		// data; report what this merged view actually guarantees.
+		stats["current_alpha"] = summary.RelativeAccuracy
+		stats["collapse_epoch"] = summary.CollapseEpoch
 	} else {
 		stats["count"] = 0.0
+		stats["current_alpha"] = s.agg.RelativeAccuracy()
+		stats["collapse_epoch"] = 0
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

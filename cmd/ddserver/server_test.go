@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -489,4 +490,97 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestServerUniformCollapse runs the service in UDDSketch mode: a tight
+// uniform bin budget, ingest wide enough to force collapses (both raw
+// values and pre-collapsed agent sketches at a different epoch), and
+// /stats reporting the degraded accuracy the aggregate actually serves.
+func TestServerUniformCollapse(t *testing.T) {
+	clock := newTestClock()
+	cfg := defaultConfig()
+	cfg.interval = time.Minute
+	cfg.windows = 3
+	cfg.shards = 4
+	cfg.maxBins = 64
+	cfg.uniform = true
+	cfg.now = clock.Now
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	// Raw values sweeping ~12 decades: overflows 64 bins many times.
+	var sb strings.Builder
+	n := 2000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%g\n", math.Pow(10, 12*float64(i)/float64(n-1)))
+	}
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /values: status %d", resp.StatusCode)
+	}
+
+	// An agent sketch already collapsed under its own tight budget.
+	agent, err := ddsketch.NewUniformCollapsing(cfg.alpha, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := agent.Add(math.Pow(10, 10*float64(i)/999)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agent.CollapseEpoch() == 0 {
+		t.Fatal("agent sketch never collapsed")
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(agent.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /ingest: status %d", resp.StatusCode)
+	}
+
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["collapse_mode"].(string); got != "uniform" {
+		t.Errorf("collapse_mode = %q, want \"uniform\"", got)
+	}
+	if got := stats["count"].(float64); got != float64(n+1000) {
+		t.Errorf("count = %g, want %d", got, n+1000)
+	}
+	epoch := int(stats["collapse_epoch"].(float64))
+	if epoch == 0 {
+		t.Error("collapse_epoch = 0, want > 0 after a 12-decade stream into 64 bins")
+	}
+	currentAlpha := stats["current_alpha"].(float64)
+	if currentAlpha <= cfg.alpha {
+		t.Errorf("current_alpha = %g, want degraded above the configured α %g", currentAlpha, cfg.alpha)
+	}
+	// The reported α matches the recurrence α' = 2α/(1+α²) per epoch.
+	want := cfg.alpha
+	for i := 0; i < epoch; i++ {
+		want = 2 * want / (1 + want*want)
+	}
+	if currentAlpha != want {
+		t.Errorf("current_alpha = %v, want %v at epoch %d", currentAlpha, want, epoch)
+	}
+
+	// The summary endpoint carries the same degraded accuracy, and the
+	// served quantiles respect it against the known stream.
+	body := getJSON(t, ts.URL+"/summary?q=0.5", http.StatusOK)
+	summary := body["summary"].(map[string]any)
+	if got := summary["relative_accuracy"].(float64); got != currentAlpha {
+		t.Errorf("summary relative_accuracy = %v, want %v", got, currentAlpha)
+	}
+	if got := int(summary["collapse_epoch"].(float64)); got != epoch {
+		t.Errorf("summary collapse_epoch = %d, want %d", got, epoch)
+	}
 }

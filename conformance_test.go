@@ -585,6 +585,284 @@ func TestConformanceSummaryMatchesIndividualReads(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Uniform-collapse axis: the same behavioral suites, under a tiny
+// WithUniformCollapse budget that forces every variant to collapse —
+// shards and window slots independently — and reconcile on read.
+
+const confUniformBins = 64
+
+// conformanceUniformVariants mirrors conformanceVariants with
+// WithUniformCollapse(confUniformBins) instead of WithMaxBins.
+func conformanceUniformVariants(t *testing.T) map[string]ddsketch.Sketch {
+	t.Helper()
+	clock := newFakeClock()
+	build := func(opts ...ddsketch.Option) ddsketch.Sketch {
+		t.Helper()
+		opts = append([]ddsketch.Option{
+			ddsketch.WithRelativeAccuracy(confAlpha),
+			ddsketch.WithUniformCollapse(confUniformBins),
+		}, opts...)
+		s, err := ddsketch.NewSketch(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return map[string]ddsketch.Sketch{
+		"DDSketch":   build(),
+		"Concurrent": build(ddsketch.WithMutex()),
+		"Sharded":    build(ddsketch.WithSharding(8)),
+		"TimeWindowed": build(
+			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
+		"WindowedSharded": build(
+			ddsketch.WithSharding(8),
+			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
+	}
+}
+
+// alphaAfterEpochs iterates the uniform-collapse accuracy recurrence
+// α' = 2α/(1+α²) — the same float expression Coarsen evaluates, so the
+// expected and actual accuracies match bit for bit.
+func alphaAfterEpochs(alpha float64, epochs int) float64 {
+	for i := 0; i < epochs; i++ {
+		alpha = 2 * alpha / (1 + alpha*alpha)
+	}
+	return alpha
+}
+
+// uniformConfValues is a wide-dynamic-range workload (an exponential
+// ramp shuffled into pareto noise, plus negatives and zeros) that
+// overflows confUniformBins many times over at α = confAlpha.
+func uniformConfValues(n int) []float64 {
+	values := datagen.ByName("pareto", n)
+	ramp := datagen.ExpRamp(n, 9)
+	out := append([]float64(nil), values...)
+	for i := range out {
+		switch {
+		case i%3 == 1:
+			out[i] = ramp[i]
+		case i%7 == 3:
+			out[i] = -out[i]
+		case i%11 == 5:
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// assertUniformInvariants checks the uniform-collapse contract on a
+// merged snapshot: the combined bin count never exceeds the budget, the
+// collapse actually fired, the current α equals the recurrence
+// α' = 2α/(1+α²) applied epoch times, and every tested quantile is
+// within that α' of the exact quantile.
+func assertUniformInvariants(t *testing.T, snapshot *ddsketch.DDSketch, sorted []float64) {
+	t.Helper()
+	// The zero counter is O(1) memory and outside the bin budget.
+	if bins := snapshot.NumBins(); bins > confUniformBins+1 {
+		t.Errorf("NumBins = %d exceeds uniform budget %d", bins, confUniformBins)
+	}
+	epoch := snapshot.CollapseEpoch()
+	if epoch == 0 {
+		t.Fatal("sketch never collapsed: workload too narrow for the test to mean anything")
+	}
+	wantAlpha := alphaAfterEpochs(confAlpha, epoch)
+	if got := snapshot.RelativeAccuracy(); got != wantAlpha {
+		t.Errorf("epoch %d: RelativeAccuracy = %v, want exactly %v (α' = 2α/(1+α²) per epoch)",
+			epoch, got, wantAlpha)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		est, err := snapshot.Quantile(q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", q, err)
+		}
+		truth := exact.Quantile(sorted, q)
+		if rel := exact.RelativeError(est, truth); rel > wantAlpha*(1+1e-9) {
+			t.Errorf("q=%g: estimate %g vs exact %g: relative error %g exceeds α'=%g at epoch %d",
+				q, est, truth, rel, wantAlpha, epoch)
+		}
+	}
+}
+
+// TestConformanceUniformAccuracy: every variant under a tiny uniform
+// budget stays within the bin bound and the epoch-adjusted α'
+// guarantee at every tested quantile.
+func TestConformanceUniformAccuracy(t *testing.T) {
+	values := uniformConfValues(confN)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for name, s := range conformanceUniformVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			if got := s.Count(); got != confN {
+				t.Fatalf("Count = %g, want %d", got, confN)
+			}
+			assertUniformInvariants(t, s.Snapshot(), sorted)
+
+			// Summary agrees with the snapshot on the degraded accuracy.
+			summary, err := s.Summary(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := s.Snapshot()
+			if summary.CollapseEpoch != snap.CollapseEpoch() {
+				t.Errorf("Summary.CollapseEpoch = %d, snapshot epoch = %d",
+					summary.CollapseEpoch, snap.CollapseEpoch())
+			}
+			if summary.RelativeAccuracy != snap.RelativeAccuracy() {
+				t.Errorf("Summary.RelativeAccuracy = %v, snapshot α' = %v",
+					summary.RelativeAccuracy, snap.RelativeAccuracy())
+			}
+		})
+	}
+}
+
+// TestConformanceUniformMergeMixedEpochs: every variant accepts merges
+// from sketches at finer and coarser collapse epochs — the shape of a
+// fleet where agents under different traffic collapsed a different
+// number of times — preserving count and sum exactly and the α'
+// guarantee of the final epoch.
+func TestConformanceUniformMergeMixedEpochs(t *testing.T) {
+	values := uniformConfValues(confN)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	// A fine (never-collapsed) agent and a coarse (multiply-collapsed)
+	// agent over disjoint halves of the stream.
+	fine, err := ddsketch.NewUniformCollapsing(confAlpha, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := ddsketch.NewUniformCollapsing(confAlpha, confUniformBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values[:confN/2] {
+		if err := fine.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range values[confN/2:] {
+		if err := coarse.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fine.CollapseEpoch() != 0 || coarse.CollapseEpoch() == 0 {
+		t.Fatalf("want epochs 0 and >0, got %d and %d", fine.CollapseEpoch(), coarse.CollapseEpoch())
+	}
+	fineSum, _ := fine.Sum()
+	coarseSum, _ := coarse.Sum()
+
+	for name, s := range conformanceUniformVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.MergeWith(fine); err != nil {
+				t.Fatalf("MergeWith(fine): %v", err)
+			}
+			if err := s.DecodeAndMergeWith(coarse.Encode()); err != nil {
+				t.Fatalf("DecodeAndMergeWith(coarse): %v", err)
+			}
+			if got := s.Count(); got != confN {
+				t.Fatalf("Count = %g, want %d (merge must preserve weight)", got, confN)
+			}
+			sum, err := s.Sum()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(sum-(fineSum+coarseSum)) / math.Abs(fineSum+coarseSum); rel > 1e-9 {
+				t.Errorf("Sum = %g, want %g", sum, fineSum+coarseSum)
+			}
+			assertUniformInvariants(t, s.Snapshot(), sorted)
+
+			// The merge arguments are untouched.
+			if fine.CollapseEpoch() != 0 {
+				t.Error("MergeWith collapsed its argument")
+			}
+			if got := fine.Count(); got != confN/2 {
+				t.Errorf("merge argument Count = %g, want %d", got, confN/2)
+			}
+		})
+	}
+}
+
+// TestConformanceUniformClear: Clear returns every variant to epoch 0
+// and full α accuracy, and the sketch remains usable.
+func TestConformanceUniformClear(t *testing.T) {
+	values := uniformConfValues(4000)
+	for name, s := range conformanceUniformVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			if s.Snapshot().CollapseEpoch() == 0 {
+				t.Fatal("sketch never collapsed")
+			}
+			s.Clear()
+			if !s.IsEmpty() {
+				t.Fatal("IsEmpty after Clear = false")
+			}
+			if _, err := s.Quantile(0.5); !errors.Is(err, ddsketch.ErrEmptySketch) {
+				t.Errorf("Quantile after Clear: err = %v, want ErrEmptySketch", err)
+			}
+			if err := s.Add(7); err != nil {
+				t.Fatal(err)
+			}
+			snap := s.Snapshot()
+			if got := snap.CollapseEpoch(); got != 0 {
+				t.Errorf("epoch after Clear = %d, want 0 (accuracy budget restarts)", got)
+			}
+			if got := snap.RelativeAccuracy(); got != confAlpha {
+				t.Errorf("α after Clear = %v, want %v", got, confAlpha)
+			}
+			est, err := s.Quantile(0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est-7)/7 > confAlpha {
+				t.Errorf("median after re-Add = %g, want ≈7 within full α", est)
+			}
+		})
+	}
+}
+
+// TestConformanceUniformRoundTrip: Encode carries the collapse epoch,
+// so a decoded sketch answers identically, reports the same α'/epoch,
+// and keeps collapsing at the same budget.
+func TestConformanceUniformRoundTrip(t *testing.T) {
+	values := uniformConfValues(confN)
+	qs := []float64{0, 0.25, 0.5, 0.95, 1}
+	for name, s := range conformanceUniformVariants(t) {
+		t.Run(name, func(t *testing.T) {
+			fillAll(t, s, values)
+			snap := s.Snapshot()
+			decoded, err := ddsketch.Decode(s.Encode())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got, want := decoded.CollapseEpoch(), snap.CollapseEpoch(); got != want {
+				t.Errorf("decoded epoch = %d, want %d", got, want)
+			}
+			if got, want := decoded.RelativeAccuracy(), snap.RelativeAccuracy(); got != want {
+				t.Errorf("decoded α' = %v, want %v", got, want)
+			}
+			if got, want := decoded.UniformCollapseBins(), confUniformBins; got != want {
+				t.Errorf("decoded bin budget = %d, want %d", got, want)
+			}
+			assertBinIdentical(t, decoded, snap)
+			want, err := snap.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := decoded.Quantiles(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				if got[i] != want[i] {
+					t.Errorf("q=%g: decoded %g != original %g", q, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
 func mustQuery(t *testing.T, query func() (float64, error)) float64 {
 	t.Helper()
 	v, err := query()

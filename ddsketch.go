@@ -16,10 +16,12 @@
 //
 // The sketch handles all of ℝ: positive and negative values go to two
 // separate stores and zero (plus anything too small to index) has a
-// dedicated counter (§2.2 of the paper). Memory can be bounded with
-// collapsing stores (Algorithms 3–4), which sacrifice the lowest
-// quantiles first; Proposition 4 quantifies the quantiles that remain
-// accurate.
+// dedicated counter (§2.2 of the paper). Memory can be bounded two
+// ways: collapsing stores (Algorithms 3–4) sacrifice the lowest
+// quantiles first (Proposition 4 quantifies the quantiles that remain
+// accurate), while WithUniformCollapse trades accuracy instead of a
+// tail — every bucket pair folds together under γ² (UDDSketch), so all
+// quantiles stay within a gracefully degraded α'.
 //
 // Basic usage:
 //
@@ -75,6 +77,10 @@ var (
 	// ErrIncompatibleSketches is returned when merging sketches whose
 	// mappings differ, which would void the accuracy guarantee.
 	ErrIncompatibleSketches = errors.New("ddsketch: cannot merge sketches with different mappings")
+	// ErrCannotCollapse is returned when a uniform collapse is requested
+	// on a sketch whose mapping cannot be coarsened (only the logarithmic
+	// mapping squares cleanly).
+	ErrCannotCollapse = errors.New("ddsketch: uniform collapse requires the logarithmic mapping")
 )
 
 // DDSketch is a quantile sketch with relative-error guarantees.
@@ -93,6 +99,17 @@ type DDSketch struct {
 	min float64
 	max float64
 	sum float64
+
+	// Uniform-collapse (UDDSketch) state. When uniformMaxBins > 0, the
+	// sketch keeps the combined index span of both stores within the
+	// budget by pairwise-folding every bucket and squaring γ (degrading
+	// α uniformly) instead of sacrificing one tail; epoch counts how
+	// many such collapses have been applied and baseMapping remembers
+	// the epoch-0 mapping so Clear and serialization can re-derive the
+	// lineage deterministically.
+	uniformMaxBins int
+	epoch          int
+	baseMapping    mapping.IndexMapping
 }
 
 // New returns a sketch with the given relative accuracy α ∈ (0, 1),
@@ -135,6 +152,21 @@ func NewCollapsingHighest(relativeAccuracy float64, maxBins int) (*DDSketch, err
 	return newBase(
 		WithRelativeAccuracy(relativeAccuracy),
 		WithStores(store.CollapsingHighestProvider(maxBins), store.CollapsingLowestProvider(maxBins)))
+}
+
+// NewUniformCollapsing returns the UDDSketch-mode bounded sketch:
+// relative accuracy α while the combined index span of both stores fits
+// within maxBins, collapsing *uniformly* when it would not — every
+// bucket pair folds together under γ' = γ², degrading the accuracy to
+// α' = 2α/(1+α²) over the whole range instead of sacrificing the lowest
+// quantiles (Epicoco et al., 2020). The right mode for heavy-tailed
+// streams under a hard memory budget, where the collapsed tail is
+// exactly the quantile users ask for.
+//
+// NewUniformCollapsing is a thin wrapper over
+// NewSketch(WithRelativeAccuracy(α), WithUniformCollapse(maxBins)).
+func NewUniformCollapsing(relativeAccuracy float64, maxBins int) (*DDSketch, error) {
+	return newBase(WithRelativeAccuracy(relativeAccuracy), WithUniformCollapse(maxBins))
 }
 
 // NewFast returns the "DDSketch (fast)" configuration benchmarked in §4
@@ -218,6 +250,18 @@ func (s *DDSketch) AddBatchWithCount(values []float64, count float64) error {
 	if math.IsNaN(count) || count <= 0 {
 		return fmt.Errorf("%w: got %v", ErrNegativeCount, count)
 	}
+	if s.uniformMaxBins > 0 {
+		// A collapse mid-batch swaps the mapping out from under the
+		// hoisted locals below, so the uniform mode takes the per-value
+		// path, which re-reads the mapping (and checks the bin budget)
+		// on every insertion. Same bins, same stop-at-first-error.
+		for i, value := range values {
+			if err := s.AddWithCount(value, count); err != nil {
+				return fmt.Errorf("batch index %d: %w", i, err)
+			}
+		}
+		return nil
+	}
 	m := s.mapping
 	minIndexable, maxIndexable := m.MinIndexableValue(), m.MaxIndexableValue()
 	positive, negative := s.positive, s.negative
@@ -266,11 +310,87 @@ func (s *DDSketch) apply(value, count float64) error {
 			ErrValueOutOfRange, value, s.mapping.MaxIndexableValue())
 	case value > 0:
 		s.positive.AddWithCount(s.mapping.Index(magnitude), count)
+		// Inline guard: non-uniform sketches pay one flag check, not a
+		// function call, on the paper's §4 hot path.
+		if s.uniformMaxBins > 0 && count > 0 {
+			s.maybeCollapse()
+		}
 	default:
 		s.negative.AddWithCount(s.mapping.Index(magnitude), count)
+		if s.uniformMaxBins > 0 && count > 0 {
+			s.maybeCollapse()
+		}
 	}
 	return nil
 }
+
+// storeSpan returns the index span (max − min + 1) a store's live
+// buckets cover, 0 when empty — the quantity a dense backing array's
+// memory scales with, and the one the uniform bin budget bounds.
+func storeSpan(st store.Store) int {
+	lo, err := st.MinIndex()
+	if err != nil {
+		return 0
+	}
+	hi, _ := st.MaxIndex()
+	return hi - lo + 1
+}
+
+// maybeCollapse applies uniform collapses until the combined index span
+// of the two stores fits within the sketch's bin budget. A no-op unless
+// the sketch was built with WithUniformCollapse. The iteration cap is a
+// safety net only: each collapse at least halves any span above two
+// buckets, so a span that fits in an int is inside the budget within 64
+// folds.
+func (s *DDSketch) maybeCollapse() {
+	if s.uniformMaxBins <= 0 {
+		return
+	}
+	for i := 0; i < 64 && storeSpan(s.positive)+storeSpan(s.negative) > s.uniformMaxBins; i++ {
+		if err := s.CollapseUniformly(); err != nil {
+			return // mapping can no longer coarsen; keep answering correctly
+		}
+	}
+}
+
+// CollapseUniformly applies one uniform collapse (UDDSketch, Epicoco et
+// al., 2020): every bucket pair (2j−1, 2j) folds into bucket j of the
+// coarsened mapping with γ' = γ², so the relative accuracy degrades to
+// α' = 2α/(1+α²) over the whole value range instead of sacrificing one
+// tail as the collapsing stores do. Counts, sum, min, max and the zero
+// counter are preserved exactly; CollapseEpoch increments.
+//
+// Sketches built with WithUniformCollapse call this automatically when
+// their bin budget fills; calling it explicitly pre-coarsens a sketch
+// (e.g. to match a peer's epoch before shipping). It requires the
+// logarithmic mapping and fails with ErrCannotCollapse otherwise.
+func (s *DDSketch) CollapseUniformly() error {
+	m, ok := s.mapping.(*mapping.LogarithmicMapping)
+	if !ok {
+		return fmt.Errorf("%w: have %v", ErrCannotCollapse, s.mapping)
+	}
+	coarser, err := m.Coarsen()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCannotCollapse, err)
+	}
+	store.FoldPairwise(s.positive)
+	store.FoldPairwise(s.negative)
+	if s.baseMapping == nil {
+		s.baseMapping = s.mapping
+	}
+	s.mapping = coarser
+	s.epoch++
+	return nil
+}
+
+// CollapseEpoch returns the number of uniform collapses applied since
+// the sketch was created or last cleared: 0 means full α accuracy; each
+// epoch degrades α to 2α/(1+α²).
+func (s *DDSketch) CollapseEpoch() int { return s.epoch }
+
+// UniformCollapseBins returns the combined bin budget enforced by
+// uniform collapsing, or 0 when the mode is off.
+func (s *DDSketch) UniformCollapseBins() int { return s.uniformMaxBins }
 
 // Delete removes one previously added occurrence of value. Deleting
 // values that were never inserted leaves the sketch in a valid state but
@@ -455,10 +575,19 @@ func indexOrBoundary(m mapping.IndexMapping, magnitude float64) int {
 // MergeWith folds other into s (the paper's Algorithm 4): bucket counts
 // add exactly, so the merged sketch answers queries exactly as a single
 // sketch of the combined data would, up to collapsing. other is not
-// modified. Merging requires both sketches to use equal mappings.
+// modified. Merging requires both sketches to use equal mappings —
+// except across uniform-collapse epochs of the same lineage, which are
+// reconciled by collapsing the finer sketch first (the fusion semantics
+// of Cafaro et al., 2021): the merged sketch carries the coarser
+// epoch's α' guarantee, exactly as if all values had been sketched at
+// that epoch.
 func (s *DDSketch) MergeWith(other *DDSketch) error {
 	if !s.mapping.Equals(other.mapping) {
-		return fmt.Errorf("%w: %v vs %v", ErrIncompatibleSketches, s.mapping, other.mapping)
+		reconciled, err := s.reconcile(other)
+		if err != nil {
+			return err
+		}
+		other = reconciled
 	}
 	s.positive.MergeWith(other.positive)
 	s.negative.MergeWith(other.negative)
@@ -470,7 +599,67 @@ func (s *DDSketch) MergeWith(other *DDSketch) error {
 		s.max = other.max
 	}
 	s.sum += other.sum
+	s.maybeCollapse()
 	return nil
+}
+
+// reconcile aligns two sketches whose mappings differ but whose
+// collapse lineages may still match: if coarsening the finer sketch's
+// mapping by the epoch difference yields the coarser one's mapping,
+// the two sketches describe the same bucket lineage and merge exactly
+// after the finer one collapses up. The finer side is s itself (which
+// is coarsened in place — merging in coarser data inherently costs the
+// receiver that accuracy) or a temporary copy of other (other is never
+// modified). Returns the sketch to merge, now at s's epoch.
+func (s *DDSketch) reconcile(other *DDSketch) (*DDSketch, error) {
+	incompatible := fmt.Errorf("%w: %v (epoch %d) vs %v (epoch %d)",
+		ErrIncompatibleSketches, s.mapping, s.epoch, other.mapping, other.epoch)
+	if s.epoch == other.epoch {
+		return nil, incompatible
+	}
+	// Verify the lineage on mappings alone before touching any store, so
+	// a failed reconciliation leaves both sketches untouched.
+	finer, coarser := s, other
+	if s.epoch > other.epoch {
+		finer, coarser = other, s
+	}
+	m, ok := finer.mapping.(*mapping.LogarithmicMapping)
+	if !ok {
+		return nil, incompatible
+	}
+	for e := finer.epoch; e < coarser.epoch; e++ {
+		next, err := m.Coarsen()
+		if err != nil {
+			return nil, incompatible
+		}
+		m = next
+	}
+	if !m.Equals(coarser.mapping) {
+		return nil, incompatible
+	}
+	if finer == s {
+		// Coarsening the receiver in place degrades accuracy it will
+		// never get back, so it takes an opt-in: only sketches managing
+		// their own collapse state (uniform mode, or already collapsed)
+		// absorb coarser peers. A plain sketch keeps the historical
+		// ErrIncompatibleSketches instead of a silent α downgrade.
+		if s.uniformMaxBins == 0 && s.epoch == 0 {
+			return nil, incompatible
+		}
+		for s.epoch < other.epoch {
+			if err := s.CollapseUniformly(); err != nil {
+				return nil, err
+			}
+		}
+		return other, nil
+	}
+	tmp := other.Copy()
+	for tmp.epoch < s.epoch {
+		if err := tmp.CollapseUniformly(); err != nil {
+			return nil, err
+		}
+	}
+	return tmp, nil
 }
 
 // Summary returns count, sum, min, max, avg, and the requested
@@ -488,18 +677,24 @@ func (s *DDSketch) Snapshot() *DDSketch { return s.Copy() }
 // Copy returns a deep copy of the sketch.
 func (s *DDSketch) Copy() *DDSketch {
 	return &DDSketch{
-		mapping:   s.mapping,
-		positive:  s.positive.Copy(),
-		negative:  s.negative.Copy(),
-		zeroCount: s.zeroCount,
-		min:       s.min,
-		max:       s.max,
-		sum:       s.sum,
+		mapping:        s.mapping,
+		positive:       s.positive.Copy(),
+		negative:       s.negative.Copy(),
+		zeroCount:      s.zeroCount,
+		min:            s.min,
+		max:            s.max,
+		sum:            s.sum,
+		uniformMaxBins: s.uniformMaxBins,
+		epoch:          s.epoch,
+		baseMapping:    s.baseMapping,
 	}
 }
 
 // Clear empties the sketch, keeping its configuration and allocated
-// capacity.
+// capacity. A uniformly-collapsed sketch returns to its epoch-0 mapping
+// and full α accuracy: collapse history describes data, not
+// configuration, so an emptied sketch (e.g. a rotated window slot)
+// starts its accuracy budget over.
 func (s *DDSketch) Clear() {
 	s.positive.Clear()
 	s.negative.Clear()
@@ -507,6 +702,10 @@ func (s *DDSketch) Clear() {
 	s.min = math.Inf(1)
 	s.max = math.Inf(-1)
 	s.sum = 0
+	if s.baseMapping != nil {
+		s.mapping = s.baseMapping
+		s.epoch = 0
+	}
 }
 
 // NumBins returns the number of non-empty buckets across both stores,
@@ -527,9 +726,14 @@ func (s *DDSketch) SizeBytes() int {
 	return s.positive.SizeBytes() + s.negative.SizeBytes() + 72
 }
 
-// Collapsed reports whether either store has collapsed buckets, i.e.
-// whether some extreme quantiles may have lost the α guarantee.
+// Collapsed reports whether the sketch has collapsed: either store has
+// folded extreme buckets (lowest/highest modes, where some extreme
+// quantiles lost the α guarantee) or at least one uniform collapse has
+// run (where every quantile degraded to the epoch's α').
 func (s *DDSketch) Collapsed() bool {
+	if s.epoch > 0 {
+		return true
+	}
 	type collapser interface{ IsCollapsed() bool }
 	if c, ok := s.positive.(collapser); ok && c.IsCollapsed() {
 		return true

@@ -2,9 +2,13 @@ package ddsketch_test
 
 import (
 	"errors"
+	"math"
+	"sort"
 	"testing"
 
 	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
 	"github.com/ddsketch-go/ddsketch/mapping"
 	"github.com/ddsketch-go/ddsketch/store"
 )
@@ -24,6 +28,15 @@ func FuzzDecode(f *testing.F) {
 		func() (*ddsketch.DDSketch, error) { return ddsketch.NewCollapsingHighest(0.02, 256) },
 		func() (*ddsketch.DDSketch, error) { return ddsketch.NewFast(0.01, 512) },
 		func() (*ddsketch.DDSketch, error) { return ddsketch.NewSparse(0.05) },
+		func() (*ddsketch.DDSketch, error) {
+			// A collapsed uniform sketch: exercises the version-2 format
+			// (bin budget + epoch + base-mapping re-derivation).
+			s, err := ddsketch.NewUniformCollapsing(0.01, 32)
+			if err != nil {
+				return nil, err
+			}
+			return s, s.CollapseUniformly()
+		},
 		func() (*ddsketch.DDSketch, error) {
 			m, err := mapping.NewCubicallyInterpolated(0.01)
 			if err != nil {
@@ -69,6 +82,116 @@ func FuzzDecode(f *testing.F) {
 		_ = s.NumBins()
 		if !s.IsEmpty() {
 			_, _ = s.Quantile(0.5)
+		}
+	})
+}
+
+// FuzzMergeMixedEpochs is the fusion-semantics fuzzer: two
+// uniform-collapse sketches over random heavy-tailed data, collapsed a
+// random (different) number of extra times, must always merge — in
+// both directions and through the wire format — preserving total count
+// and sum exactly and keeping every quantile within the merged epoch's
+// α' bound (the fusion error bound: the result answers as if all
+// values had been sketched at the coarser epoch).
+func FuzzMergeMixedEpochs(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(3), uint16(500), uint16(700))
+	f.Add(uint64(2), uint8(2), uint8(0), uint16(64), uint16(2000))
+	f.Add(uint64(3), uint8(5), uint8(5), uint16(1), uint16(1))
+	f.Add(uint64(4), uint8(1), uint8(7), uint16(2048), uint16(10))
+
+	f.Fuzz(func(t *testing.T, seed uint64, extraA, extraB uint8, nA, nB uint16) {
+		const (
+			alpha   = 0.02
+			maxBins = 32
+		)
+		countA, countB := int(nA%2048)+1, int(nB%2048)+1
+		valuesA := datagen.ParetoSeeded(countA, seed|1)
+		valuesB := datagen.LogNormalSeeded(countB, 0, 3, seed+17)
+
+		build := func(values []float64, extra uint8) *ddsketch.DDSketch {
+			s, err := ddsketch.NewUniformCollapsing(alpha, maxBins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range values {
+				if err := s.Add(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Cap the explicit epochs: past ~6 collapses from α = 0.02,
+			// α' approaches 1 and Coarsen correctly refuses (the same
+			// soft-stop maybeCollapse applies), which is not the merge
+			// path under test.
+			for i := uint8(0); i < extra%6; i++ {
+				if err := s.CollapseUniformly(); err != nil {
+					if errors.Is(err, ddsketch.ErrCannotCollapse) {
+						break
+					}
+					t.Fatal(err)
+				}
+			}
+			return s
+		}
+		a := build(valuesA, extraA)
+		b := build(valuesB, extraB)
+		epochB := b.CollapseEpoch()
+
+		merged := a.Copy()
+		if err := merged.DecodeAndMergeWith(b.Encode()); err != nil {
+			t.Fatalf("merge epochs %d←%d: %v", a.CollapseEpoch(), epochB, err)
+		}
+		// The merge argument is untouched.
+		if b.CollapseEpoch() != epochB || b.Count() != float64(countB) {
+			t.Fatal("merge mutated its argument")
+		}
+
+		// Count and sum fuse exactly.
+		if got, want := merged.Count(), float64(countA+countB); got != want {
+			t.Fatalf("merged Count = %g, want %g", got, want)
+		}
+		sumA, _ := a.Sum()
+		sumB, _ := b.Sum()
+		mergedSum, err := merged.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sumA + sumB; math.Abs(mergedSum-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("merged Sum = %g, want %g", mergedSum, want)
+		}
+
+		// The fusion error bound: the merged sketch answers within the
+		// final epoch's α' everywhere.
+		if bins := merged.NumBins(); bins > maxBins {
+			t.Fatalf("merged NumBins = %d exceeds budget %d", bins, maxBins)
+		}
+		finalEpoch := merged.CollapseEpoch()
+		if min := max(a.CollapseEpoch(), epochB); finalEpoch < min {
+			t.Fatalf("merged epoch %d below the coarser input epoch %d", finalEpoch, min)
+		}
+		alphaE := merged.RelativeAccuracy()
+		combined := append(append([]float64(nil), valuesA...), valuesB...)
+		sort.Float64s(combined)
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			est, err := merged.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := exact.Quantile(combined, q)
+			if rel := exact.RelativeError(est, truth); rel > alphaE*(1+1e-9) {
+				t.Fatalf("q=%g: relative error %g exceeds fused α'=%g (epochs %d+%d→%d)",
+					q, rel, alphaE, a.CollapseEpoch(), epochB, finalEpoch)
+			}
+		}
+
+		// Merging in the other direction fuses the same multiset at the
+		// same lineage: counts agree, and both orders answer identically
+		// once at a common epoch.
+		reverse := b.Copy()
+		if err := reverse.MergeWith(a); err != nil {
+			t.Fatalf("reverse merge: %v", err)
+		}
+		if reverse.Count() != merged.Count() {
+			t.Fatalf("reverse Count = %g, forward %g", reverse.Count(), merged.Count())
 		}
 	})
 }

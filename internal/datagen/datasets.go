@@ -131,6 +131,38 @@ func Latency(n int, seed uint64) []float64 {
 	return values
 }
 
+// LogNormalSeeded returns n samples from LogNormal(μ, σ) — the
+// heavy-tailed-but-finite-moments companion to Pareto in the
+// uniform-collapse evaluation. With σ around 2–3 the stream spans many
+// decades, forcing bounded sketches to collapse.
+func LogNormalSeeded(n int, mu, sigma float64, seed uint64) []float64 {
+	rng := NewRNG(seed)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.LogNormal(mu, sigma)
+	}
+	return values
+}
+
+// ExpRamp returns the adversarial exponential ramp: n values sweeping
+// `decades` orders of magnitude geometrically, from 1 up to
+// 10^decades. Every value lands in a fresh bucket of a logarithmic
+// mapping, so the stream grows a bounded sketch's index span as fast
+// as any stream can — the worst case for a hard memory budget, where
+// lowest-first collapsing destroys the entire early (low-quantile)
+// history while uniform collapse only degrades α.
+func ExpRamp(n int, decades float64) []float64 {
+	values := make([]float64, n)
+	if n == 1 {
+		values[0] = 1
+		return values
+	}
+	for i := range values {
+		values[i] = math.Pow(10, decades*float64(i)/float64(n-1))
+	}
+	return values
+}
+
 // ByName returns the named evaluation dataset, one of "pareto", "span"
 // or "power". It returns nil for unknown names.
 func ByName(name string, n int) []float64 {

@@ -31,7 +31,7 @@ func IDs() []string {
 		"table1", "table2",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11",
-		"bounds", "ablation", "related",
+		"bounds", "ablation", "related", "uniform",
 	}
 }
 
@@ -74,6 +74,8 @@ func Run(id string, cfg Config) ([]Result, error) {
 		return []Result{Ablation(cfg)}, nil
 	case "related":
 		return []Result{Related(cfg)}, nil
+	case "uniform":
+		return []Result{Uniform(cfg)}, nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, IDs())
 	}

@@ -61,6 +61,25 @@ func (m *LogarithmicMapping) Equals(other IndexMapping) bool {
 	return ok && approxEqual(m.gamma, o.gamma)
 }
 
+// Coarsen returns the logarithmic mapping whose buckets are the pairwise
+// unions of this mapping's buckets: γ' = γ², equivalently relative
+// accuracy α' = 2α/(1+α²). It is the mapping half of UDDSketch's uniform
+// collapse (Epicoco et al., 2020): folding every bucket pair (2j−1, 2j)
+// of this mapping into bucket j of the coarsened one degrades accuracy
+// gracefully over the whole range instead of sacrificing one tail.
+//
+// Coarsening is deterministic: mappings coarsened the same number of
+// times from equal mappings are bit-identical, which is what lets
+// sketches collapsed a different number of times still merge exactly
+// (their mappings re-align after coarsening the finer one).
+//
+// It fails only when α' can no longer be represented below 1, which
+// is unreachable from any α a real collapse sequence produces.
+func (m *LogarithmicMapping) Coarsen() (*LogarithmicMapping, error) {
+	a := m.relativeAccuracy
+	return NewLogarithmic(2 * a / (1 + a*a))
+}
+
 // Encode appends the mapping's binary serialization.
 func (m *LogarithmicMapping) Encode(w *encoding.Writer) {
 	w.Byte(typeLogarithmic)

@@ -20,9 +20,10 @@ const DefaultRelativeAccuracy = 0.01
 // sketchConfig accumulates the choices made by Options before NewSketch
 // resolves them into a concrete variant.
 type sketchConfig struct {
-	alpha    float64
-	alphaSet bool
-	maxBins  int
+	alpha       float64
+	alphaSet    bool
+	maxBins     int
+	uniformBins int
 
 	mapping            mapping.IndexMapping
 	positive, negative store.Provider
@@ -60,6 +61,28 @@ func WithMaxBins(maxBins int) Option {
 			return fmt.Errorf("%w: max bins must be at least 1, got %d", ErrInvalidOption, maxBins)
 		}
 		c.maxBins = maxBins
+		return nil
+	}
+}
+
+// WithUniformCollapse bounds the sketch to at most maxBins buckets
+// across both stores by collapsing *uniformly* (UDDSketch mode): when
+// the bin budget would overflow, every bucket pair folds together under
+// γ' = γ², degrading the relative accuracy to α' = 2α/(1+α²) over the
+// whole range instead of sacrificing the lowest quantiles as WithMaxBins
+// does. The mode of choice for heavy-tailed streams under a hard memory
+// budget, where the collapsed tail is the quantile users ask for.
+//
+// Sketches at different collapse epochs still merge exactly: MergeWith
+// collapses the finer one first, and Encode carries the epoch. Summary
+// reports the current α' and epoch. Requires the logarithmic mapping
+// (the default); mutually exclusive with WithMaxBins and WithStores.
+func WithUniformCollapse(maxBins int) Option {
+	return func(c *sketchConfig) error {
+		if maxBins < 2 {
+			return fmt.Errorf("%w: uniform collapse needs a budget of at least 2 bins, got %d", ErrInvalidOption, maxBins)
+		}
+		c.uniformBins = maxBins
 		return nil
 	}
 }
@@ -152,6 +175,7 @@ func WithClock(now func() time.Time) Option {
 //
 //	base:        NewSketch()                                    // plain DDSketch, α = 1%, unbounded
 //	bounded:     NewSketch(WithRelativeAccuracy(0.01), WithMaxBins(2048))
+//	uniform:     NewSketch(WithUniformCollapse(512))            // UDDSketch: degrade α, keep both tails
 //	locked:      NewSketch(WithMutex(), ...)                    // Concurrent
 //	striped:     NewSketch(WithSharding(0), ...)                // Sharded
 //	windowed:    NewSketch(WithWindow(10*time.Second, 6), ...)  // TimeWindowed
@@ -174,6 +198,12 @@ func NewSketch(opts ...Option) (Sketch, error) {
 	}
 	if cfg.positive != nil && cfg.maxBins > 0 {
 		return nil, fmt.Errorf("%w: WithStores and WithMaxBins are mutually exclusive (the providers carry their own bounds)", ErrInvalidOption)
+	}
+	if cfg.uniformBins > 0 && cfg.maxBins > 0 {
+		return nil, fmt.Errorf("%w: WithUniformCollapse and WithMaxBins are mutually exclusive (two different collapse policies)", ErrInvalidOption)
+	}
+	if cfg.uniformBins > 0 && cfg.positive != nil {
+		return nil, fmt.Errorf("%w: WithUniformCollapse and WithStores are mutually exclusive (uniform collapse manages its own stores)", ErrInvalidOption)
 	}
 	if cfg.mutex && (cfg.sharded || cfg.windowed) {
 		return nil, fmt.Errorf("%w: WithMutex is mutually exclusive with WithSharding and WithWindow", ErrInvalidOption)
@@ -218,6 +248,17 @@ func (c *sketchConfig) base() (*DDSketch, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if c.uniformBins > 0 {
+		if _, ok := m.(*mapping.LogarithmicMapping); !ok {
+			return nil, fmt.Errorf("%w: WithUniformCollapse requires the logarithmic mapping, have %v", ErrInvalidOption, m)
+		}
+		// Unbounded dense stores: the sketch-level uniform collapse is
+		// what bounds them, folding both in lockstep with the mapping.
+		s := NewWithConfig(m, store.DenseStoreProvider(), store.DenseStoreProvider())
+		s.uniformMaxBins = c.uniformBins
+		s.baseMapping = m
+		return s, nil
 	}
 	positive, negative := c.positive, c.negative
 	if positive == nil {

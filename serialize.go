@@ -13,17 +13,38 @@ import (
 //
 //	magic  "DDS"  (3 bytes)
 //	version       (1 byte)
+//	[v2 only] uniform bin budget (uvarint), collapse epoch (uvarint)
 //	mapping       (type tag + parameters)
 //	zeroCount     (varfloat64)
 //	min, max, sum (varfloat64 ×3)
 //	positive store (type tag + parameters + bins)
 //	negative store (type tag + parameters + bins)
 //
+// Version 1 is the epoch-less format; sketches with no uniform-collapse
+// state still emit it, so agents that never collapse interoperate with
+// version-1 peers byte for byte. Version 2 carries the uniform-collapse
+// lineage: the encoded mapping is the *base* (epoch-0) mapping, and the
+// decoder re-derives the current mapping by coarsening it epoch times —
+// the same float path every collapse takes, so mixed-epoch round-trips
+// land on bit-identical mappings and merge exactly.
+//
 // Bucket counts round-trip exactly; decoding reconstructs the original
 // mapping and store configurations, so a decoded sketch keeps both its
 // accuracy guarantee and its collapsing behaviour.
 
-const serializationVersion = 1
+const (
+	serializationVersion        = 1
+	serializationVersionUniform = 2
+
+	// maxDecodedEpoch bounds the coarsening loop a hostile payload can
+	// request. Real epochs stay tiny: every collapse at least halves the
+	// index span, and γ squares per epoch, overflowing float64 long
+	// before 64 epochs for any indexable data.
+	maxDecodedEpoch = 255
+	// maxDecodedUniformBins bounds the decoded bin budget, mirroring the
+	// store decoder's index-span limit.
+	maxDecodedUniformBins = 1 << 22
+)
 
 var serializationMagic = [3]byte{'D', 'D', 'S'}
 
@@ -44,8 +65,19 @@ func (s *DDSketch) Encode() []byte {
 	w.Byte(serializationMagic[0])
 	w.Byte(serializationMagic[1])
 	w.Byte(serializationMagic[2])
-	w.Byte(serializationVersion)
-	s.mapping.Encode(w)
+	if s.uniformMaxBins > 0 || s.epoch > 0 {
+		w.Byte(serializationVersionUniform)
+		w.Uvarint(uint64(s.uniformMaxBins))
+		w.Uvarint(uint64(s.epoch))
+		base := s.baseMapping
+		if base == nil {
+			base = s.mapping
+		}
+		base.Encode(w)
+	} else {
+		w.Byte(serializationVersion)
+		s.mapping.Encode(w)
+	}
 	w.Varfloat64(s.zeroCount)
 	w.Varfloat64(s.min)
 	w.Varfloat64(s.max)
@@ -73,12 +105,58 @@ func Decode(data []byte) (*DDSketch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidEncoding, err)
 	}
-	if version != serializationVersion {
+	if version != serializationVersion && version != serializationVersionUniform {
 		return nil, fmt.Errorf("%w: got version %d", ErrUnsupportedVersion, version)
+	}
+	var uniformMaxBins, epoch int
+	if version == serializationVersionUniform {
+		bins, err := r.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: decoding uniform bin budget: %v", ErrInvalidEncoding, err)
+		}
+		e, err := r.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: decoding collapse epoch: %v", ErrInvalidEncoding, err)
+		}
+		// Mirror WithUniformCollapse's validation: a budget of 1 can
+		// never fit two non-empty stores and would spin the collapse
+		// loop on every insertion.
+		if bins == 1 || bins > uint64(maxDecodedUniformBins) {
+			return nil, fmt.Errorf("%w: uniform bin budget %d out of range", ErrInvalidEncoding, bins)
+		}
+		if e > maxDecodedEpoch {
+			return nil, fmt.Errorf("%w: collapse epoch %d out of range", ErrInvalidEncoding, e)
+		}
+		uniformMaxBins, epoch = int(bins), int(e)
 	}
 	m, err := mapping.Decode(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: decoding mapping: %w", ErrInvalidEncoding, err)
+	}
+	baseMapping := m
+	if uniformMaxBins > 0 || epoch > 0 {
+		// Uniform-collapse state requires a coarsenable mapping, exactly
+		// as WithUniformCollapse enforces at construction.
+		if _, ok := m.(*mapping.LogarithmicMapping); !ok {
+			return nil, fmt.Errorf("%w: uniform-collapse state on a non-logarithmic mapping %v",
+				ErrInvalidEncoding, m)
+		}
+	}
+	if epoch > 0 {
+		// Re-derive the current mapping by coarsening the base epoch
+		// times — the exact float path a live collapse takes, so decoded
+		// sketches merge bit-identically with their originals.
+		log := m.(*mapping.LogarithmicMapping)
+		for i := 0; i < epoch; i++ {
+			log, err = log.Coarsen()
+			if err != nil {
+				return nil, fmt.Errorf("%w: coarsening mapping to epoch %d: %v", ErrInvalidEncoding, epoch, err)
+			}
+		}
+		m = log
+	}
+	if uniformMaxBins == 0 && epoch == 0 {
+		baseMapping = nil
 	}
 	zeroCount, err := r.Varfloat64()
 	if err != nil {
@@ -105,13 +183,16 @@ func Decode(data []byte) (*DDSketch, error) {
 		return nil, fmt.Errorf("%w: decoding negative store: %w", ErrInvalidEncoding, err)
 	}
 	return &DDSketch{
-		mapping:   m,
-		positive:  positive,
-		negative:  negative,
-		zeroCount: zeroCount,
-		min:       min,
-		max:       max,
-		sum:       sum,
+		mapping:        m,
+		positive:       positive,
+		negative:       negative,
+		zeroCount:      zeroCount,
+		min:            min,
+		max:            max,
+		sum:            sum,
+		uniformMaxBins: uniformMaxBins,
+		epoch:          epoch,
+		baseMapping:    baseMapping,
 	}, nil
 }
 

@@ -169,8 +169,14 @@ func (s *Sharded) AddBatchWithCount(values []float64, count float64) error {
 // folding into the whole; picking one at random lets concurrent
 // aggregation streams (e.g. an ingest endpoint receiving agent
 // sketches) merge in parallel. other is not modified.
+//
+// Under WithUniformCollapse each shard collapses independently, so the
+// receiving shard — not the prototype — decides compatibility: it
+// reconciles a sketch from a different collapse epoch of the same
+// lineage by collapsing the finer side first, and the merge-on-read
+// Snapshot reconciles the shards' mixed epochs the same way.
 func (s *Sharded) MergeWith(other *DDSketch) error {
-	if !s.proto.mapping.Equals(other.mapping) {
+	if s.proto.uniformMaxBins == 0 && !s.proto.mapping.Equals(other.mapping) {
 		return fmt.Errorf("%w: %v vs %v", ErrIncompatibleSketches, s.proto.mapping, other.mapping)
 	}
 	sh := s.shard()
@@ -200,7 +206,11 @@ func (s *Sharded) Snapshot() *DDSketch {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		_ = merged.MergeWith(sh.sketch) // same mapping by construction
+		// Same mapping lineage by construction: shards share the proto's
+		// base mapping, and under uniform collapse the merge reconciles
+		// their independent epochs (collapsing the finer side), so this
+		// merge cannot fail.
+		_ = merged.MergeWith(sh.sketch)
 		sh.mu.Unlock()
 	}
 	return merged

@@ -87,12 +87,21 @@ var (
 // straight from the sketch's running counters; each quantile estimate
 // carries the usual α relative-error guarantee.
 type Summary struct {
-	Count     float64         `json:"count"`
-	Sum       float64         `json:"sum"`
-	Min       float64         `json:"min"`
-	Max       float64         `json:"max"`
-	Avg       float64         `json:"avg"`
-	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+	Count float64 `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Avg   float64 `json:"avg"`
+	// RelativeAccuracy is the α the quantile estimates below are
+	// guaranteed to: the configured accuracy, degraded to 2α/(1+α²)
+	// per uniform-collapse epoch when WithUniformCollapse is active.
+	RelativeAccuracy float64 `json:"relative_accuracy"`
+	// CollapseEpoch is the number of uniform collapses behind the data
+	// summarized here (0 when uniform collapse is off or never fired).
+	// On sharded and windowed variants it is the epoch of the merged
+	// view, i.e. the coarsest epoch any shard or window slot reached.
+	CollapseEpoch int             `json:"collapse_epoch"`
+	Quantiles     []QuantileValue `json:"quantiles,omitempty"`
 }
 
 // QuantileValue pairs a requested quantile with its estimate.
@@ -114,11 +123,13 @@ func (s *DDSketch) summarize(qs []float64) (Summary, error) {
 	}
 	count := s.Count()
 	summary := Summary{
-		Count: count,
-		Sum:   s.sum,
-		Min:   s.min,
-		Max:   s.max,
-		Avg:   s.sum / count,
+		Count:            count,
+		Sum:              s.sum,
+		Min:              s.min,
+		Max:              s.max,
+		Avg:              s.sum / count,
+		RelativeAccuracy: s.mapping.RelativeAccuracy(),
+		CollapseEpoch:    s.epoch,
 	}
 	if len(qs) > 0 {
 		summary.Quantiles = make([]QuantileValue, len(qs))

@@ -261,6 +261,37 @@ func decodeBins(r *encoding.Reader, s Store) error {
 	return nil
 }
 
+// FoldPairwise re-indexes every bucket of s from index i to ⌈i/2⌉,
+// folding each bucket pair (2j−1, 2j) into a single bucket j — the
+// store half of a uniform collapse (UDDSketch), whose mapping half
+// squares γ so that the pair's union is exactly the coarser mapping's
+// bucket j. Counts are preserved exactly and the index span at least
+// halves once it exceeds two buckets.
+//
+// The fold never widens the index range, so it is safe on any store;
+// uniform-collapse sketches use unbounded dense stores, keeping the
+// fold free of interference from a store-level collapsing policy.
+func FoldPairwise(s Store) {
+	if s.IsEmpty() {
+		return
+	}
+	type bin struct {
+		index int
+		count float64
+	}
+	bins := make([]bin, 0, s.NumBins())
+	s.ForEach(func(index int, count float64) bool {
+		bins = append(bins, bin{index, count})
+		return true
+	})
+	s.Clear()
+	for _, b := range bins {
+		// ⌈i/2⌉ for any sign: Go's arithmetic shift rounds toward −∞,
+		// so (i+1)>>1 is the ceiling for negative indexes too.
+		s.AddWithCount((b.index+1)>>1, b.count)
+	}
+}
+
 // keyAtRankGeneric implements KeyAtRank on top of ForEach for stores
 // without a faster native scan.
 func keyAtRankGeneric(s Store, rank float64) (int, error) {

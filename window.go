@@ -20,6 +20,13 @@ import (
 // clock is injectable so tests (and replay pipelines) can drive time
 // deterministically.
 //
+// Under WithUniformCollapse each interval sketch collapses
+// independently and Clear resets its epoch, so every fresh interval
+// starts back at full α accuracy; trailing queries over a ring whose
+// slots sit at different collapse epochs reconcile them on merge
+// (collapsing the finer slots' copies first), answering with the
+// coarsest retained epoch's α'.
+//
 // TimeWindowed is safe for concurrent use; all methods take an internal
 // lock. For very high write concurrency, put a Sharded in front and
 // periodically fold its Flush output into the window via MergeWith —
@@ -162,7 +169,10 @@ func (w *TimeWindowed) Trailing(k int) *DDSketch {
 	w.advance()
 	for i := 0; i < k; i++ {
 		slot := (w.head - i + len(w.ring)) % len(w.ring)
-		_ = merged.MergeWith(w.ring[slot]) // same mapping by construction
+		// Same mapping lineage by construction: slots share the proto's
+		// base mapping, and under uniform collapse the merge reconciles
+		// their independent epochs, so this merge cannot fail.
+		_ = merged.MergeWith(w.ring[slot])
 	}
 	return merged
 }

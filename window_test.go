@@ -2,11 +2,15 @@ package ddsketch_test
 
 import (
 	"errors"
+	"math"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
 )
 
 // fakeClock is a manually advanced clock for deterministic window tests.
@@ -203,6 +207,95 @@ func TestTimeWindowedClear(t *testing.T) {
 	}
 	if _, err := w.Quantile(0.5); !errors.Is(err, ddsketch.ErrEmptySketch) {
 		t.Errorf("Quantile after Clear: got %v, want ErrEmptySketch", err)
+	}
+}
+
+// TestTimeWindowedUniformCollapseRotation: under WithUniformCollapse,
+// each interval collapses independently and rotation resets the
+// recycled slot to epoch 0, so a fresh interval always starts at full
+// α; trailing queries over a ring whose slots sit at different epochs
+// reconcile them and answer within the coarsest retained epoch's α'.
+func TestTimeWindowedUniformCollapseRotation(t *testing.T) {
+	const maxBins = 64
+	clock := newFakeClock()
+	sk, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(0.01),
+		ddsketch.WithUniformCollapse(maxBins),
+		ddsketch.WithWindow(time.Minute, 3),
+		ddsketch.WithClock(clock.Now),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sk.(*ddsketch.TimeWindowed)
+
+	// Interval 1: a 12-decade stream that must collapse several times.
+	wide := datagen.ExpRamp(5000, 12)
+	if err := w.AddBatch(wide); err != nil {
+		t.Fatal(err)
+	}
+	wideEpoch := w.Trailing(1).CollapseEpoch()
+	if wideEpoch == 0 {
+		t.Fatal("wide interval did not collapse")
+	}
+
+	// Interval 2: a narrow stream. The recycled slot must restart at
+	// epoch 0 and answer at full α, regardless of interval 1's history.
+	clock.Advance(time.Minute)
+	for i := 0; i < 1000; i++ {
+		if err := w.Add(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := w.Trailing(1)
+	if got := fresh.CollapseEpoch(); got != 0 {
+		t.Errorf("fresh interval epoch = %d, want 0 (rotation must reset the epoch)", got)
+	}
+	if got := fresh.RelativeAccuracy(); got != 0.01 {
+		t.Errorf("fresh interval α = %v, want 0.01", got)
+	}
+	med, err := fresh.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-100)/100 > 0.01 {
+		t.Errorf("fresh interval median = %g, want ≈100 within full α", med)
+	}
+
+	// The trailing query across both intervals reconciles the mixed
+	// epochs: count is exact, the merged epoch is at least the wide
+	// interval's, and every quantile is within the merged α'.
+	merged := w.Trailing(2)
+	if got, want := merged.Count(), float64(len(wide)+1000); got != want {
+		t.Fatalf("Trailing(2) count = %g, want %g", got, want)
+	}
+	if got := merged.CollapseEpoch(); got < wideEpoch {
+		t.Errorf("merged epoch = %d, want ≥ %d (mixed-epoch reconciliation)", got, wideEpoch)
+	}
+	if bins := merged.NumBins(); bins > maxBins {
+		t.Errorf("merged NumBins = %d exceeds budget %d", bins, maxBins)
+	}
+	combined := append(append([]float64(nil), wide...), make([]float64, 1000)...)
+	for i := len(wide); i < len(combined); i++ {
+		combined[i] = 100
+	}
+	sort.Float64s(combined)
+	alphaE := merged.RelativeAccuracy()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		est, err := merged.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := exact.Quantile(combined, q)
+		if rel := exact.RelativeError(est, truth); rel > alphaE*(1+1e-9) {
+			t.Errorf("q=%g: relative error %g exceeds merged α'=%g", q, rel, alphaE)
+		}
+	}
+
+	// Rotating the wide interval out restores full accuracy end to end.
+	clock.Advance(2 * time.Minute)
+	if got := w.Snapshot().CollapseEpoch(); got != 0 {
+		t.Errorf("epoch after the wide interval expired = %d, want 0", got)
 	}
 }
 

@@ -18,7 +18,11 @@ import (
 //
 // Both layers merge exactly (Algorithm 4), so the composition costs no
 // accuracy: a WindowedSharded answers exactly as a TimeWindowed fed the
-// same values at the same times would.
+// same values at the same times would. Under WithUniformCollapse the
+// shards and interval slots all collapse independently; drains and
+// reads reconcile their mixed epochs by collapsing the finer side
+// first, so the composition holds there too — at the coarsest epoch's
+// α' instead of α.
 //
 // Construct one with NewSketch(WithSharding(k), WithWindow(d, n), ...)
 // or NewWindowedSharded. WindowedSharded is safe for concurrent use.
