@@ -59,25 +59,33 @@ func BenchmarkFig8Add(b *testing.B) {
 	}
 
 	// Batch series: ns/op stays per inserted value, so the perValue and
-	// batch sub-benchmarks of each variant are directly comparable.
+	// batch sub-benchmarks of each variant are directly comparable. The
+	// Uniform rows measure the chunked uniform-collapse batch path
+	// against its per-value loop (which pays a bin-budget span check on
+	// every insertion): at budget 2048 the span dataset never collapses,
+	// at budget 512 it collapses twice early on, so both the steady state
+	// and the re-hoisting path are covered.
 	const batchSize = 1024
 	values := datasetValues("span", benchN)
+	maxBins := []ddsketch.Option{ddsketch.WithMaxBins(harness.DDSketchMaxBins)}
 	variants := []struct {
 		name string
 		opts []ddsketch.Option
 	}{
-		{"DDSketch", nil},
-		{"Concurrent", []ddsketch.Option{ddsketch.WithMutex()}},
-		{"Sharded", []ddsketch.Option{ddsketch.WithSharding(0)}},
-		{"TimeWindowed", []ddsketch.Option{ddsketch.WithWindow(time.Hour, 4)}},
-		{"WindowedSharded", []ddsketch.Option{
-			ddsketch.WithSharding(0), ddsketch.WithWindow(time.Hour, 4)}},
+		{"DDSketch", maxBins},
+		{"Concurrent", append([]ddsketch.Option{ddsketch.WithMutex()}, maxBins...)},
+		{"Sharded", append([]ddsketch.Option{ddsketch.WithSharding(0)}, maxBins...)},
+		{"TimeWindowed", append([]ddsketch.Option{ddsketch.WithWindow(time.Hour, 4)}, maxBins...)},
+		{"WindowedSharded", append([]ddsketch.Option{
+			ddsketch.WithSharding(0), ddsketch.WithWindow(time.Hour, 4)}, maxBins...)},
+		{"UniformDDSketch", []ddsketch.Option{
+			ddsketch.WithUniformCollapse(harness.DDSketchMaxBins)}},
+		{"UniformDDSketch512", []ddsketch.Option{ddsketch.WithUniformCollapse(512)}},
 	}
 	newVariant := func(b *testing.B, opts []ddsketch.Option) ddsketch.Sketch {
 		b.Helper()
 		s, err := ddsketch.NewSketch(append([]ddsketch.Option{
 			ddsketch.WithRelativeAccuracy(harness.DDSketchAlpha),
-			ddsketch.WithMaxBins(harness.DDSketchMaxBins),
 		}, opts...)...)
 		if err != nil {
 			b.Fatal(err)

@@ -7,8 +7,10 @@ package ddsketch_test
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,19 +36,18 @@ const (
 	confN       = 20_000
 )
 
-// conformanceVariants returns a freshly-constructed sketch of every
-// variant, all built through NewSketch with the same accuracy and bin
-// budget. The windowed variants use a fixed clock, so nothing rotates
-// away during a test.
-func conformanceVariants(t *testing.T) map[string]ddsketch.Sketch {
+// conformanceVariantsWith returns a freshly-constructed sketch of every
+// variant, all built through NewSketch with the same accuracy and the
+// given base options (bin budget, collapse mode, …). The windowed
+// variants use a fixed clock, so nothing rotates away during a test.
+func conformanceVariantsWith(t *testing.T, base ...ddsketch.Option) map[string]ddsketch.Sketch {
 	t.Helper()
 	clock := newFakeClock()
 	build := func(opts ...ddsketch.Option) ddsketch.Sketch {
 		t.Helper()
-		opts = append([]ddsketch.Option{
+		opts = append(append([]ddsketch.Option{
 			ddsketch.WithRelativeAccuracy(confAlpha),
-			ddsketch.WithMaxBins(confMaxBins),
-		}, opts...)
+		}, base...), opts...)
 		s, err := ddsketch.NewSketch(opts...)
 		if err != nil {
 			t.Fatal(err)
@@ -63,6 +64,13 @@ func conformanceVariants(t *testing.T) map[string]ddsketch.Sketch {
 			ddsketch.WithSharding(8),
 			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
 	}
+}
+
+// conformanceVariants is the default axis: collapsing stores bounded at
+// confMaxBins.
+func conformanceVariants(t *testing.T) map[string]ddsketch.Sketch {
+	t.Helper()
+	return conformanceVariantsWith(t, ddsketch.WithMaxBins(confMaxBins))
 }
 
 func confValues() []float64 {
@@ -318,6 +326,58 @@ func TestConformanceAddBatchErrors(t *testing.T) {
 				}
 				if got := s.Count(); got != 2 {
 					t.Errorf("bad value %v: Count = %g, want 2 (prefix recorded)", bad, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceAddBatchErrorBytes: a mid-batch failure produces a
+// byte-identical error message whichever path recorded the prefix — the
+// hoisted non-uniform loop, the chunked uniform loop, or any variant's
+// delegation (including Sharded, which must re-offset the chunk-relative
+// index its shard saw).
+func TestConformanceAddBatchErrorBytes(t *testing.T) {
+	values := batchConfValues(2000)
+	// Deep inside a later Sharded chunk, so an unadjusted chunk-relative
+	// index could not pass for the batch-relative one.
+	const badIndex = 1700
+	poisoned := append([]float64(nil), values...)
+	poisoned[badIndex] = math.NaN()
+
+	for cfgName, base := range map[string][]ddsketch.Option{
+		"collapsing": {ddsketch.WithMaxBins(confMaxBins)},
+		// A budget wide enough that nothing collapses before the poison
+		// pill: a collapse would change the indexable bounds the message
+		// reports, and with Sharded's random chunk placement, the epoch at
+		// the failure point would no longer be deterministic.
+		"uniform": {ddsketch.WithUniformCollapse(1 << 20)},
+	} {
+		t.Run(cfgName, func(t *testing.T) {
+			ref, err := ddsketch.NewSketch(append(
+				[]ddsketch.Option{ddsketch.WithRelativeAccuracy(confAlpha)}, base...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refErr := ref.AddBatch(poisoned)
+			if !errors.Is(refErr, ddsketch.ErrValueOutOfRange) {
+				t.Fatalf("reference err = %v, want ErrValueOutOfRange", refErr)
+			}
+			want := refErr.Error()
+			if !strings.Contains(want, fmt.Sprintf("(batch index %d)", badIndex)) {
+				t.Fatalf("reference error %q does not report batch index %d", want, badIndex)
+			}
+			for name, s := range conformanceVariantsWith(t, base...) {
+				err := s.AddBatch(poisoned)
+				if !errors.Is(err, ddsketch.ErrValueOutOfRange) {
+					t.Errorf("%s: err = %v, want ErrValueOutOfRange", name, err)
+					continue
+				}
+				if got := err.Error(); got != want {
+					t.Errorf("%s: error %q, want byte-identical %q", name, got, want)
+				}
+				if got := s.Count(); got != badIndex {
+					t.Errorf("%s: Count = %g, want %d (prefix recorded)", name, got, badIndex)
 				}
 			}
 		})
@@ -596,29 +656,7 @@ const confUniformBins = 64
 // WithUniformCollapse(confUniformBins) instead of WithMaxBins.
 func conformanceUniformVariants(t *testing.T) map[string]ddsketch.Sketch {
 	t.Helper()
-	clock := newFakeClock()
-	build := func(opts ...ddsketch.Option) ddsketch.Sketch {
-		t.Helper()
-		opts = append([]ddsketch.Option{
-			ddsketch.WithRelativeAccuracy(confAlpha),
-			ddsketch.WithUniformCollapse(confUniformBins),
-		}, opts...)
-		s, err := ddsketch.NewSketch(opts...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	}
-	return map[string]ddsketch.Sketch{
-		"DDSketch":   build(),
-		"Concurrent": build(ddsketch.WithMutex()),
-		"Sharded":    build(ddsketch.WithSharding(8)),
-		"TimeWindowed": build(
-			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
-		"WindowedSharded": build(
-			ddsketch.WithSharding(8),
-			ddsketch.WithWindow(time.Minute, 4), ddsketch.WithClock(clock.Now)),
-	}
+	return conformanceVariantsWith(t, ddsketch.WithUniformCollapse(confUniformBins))
 }
 
 // alphaAfterEpochs iterates the uniform-collapse accuracy recurrence
@@ -860,6 +898,122 @@ func TestConformanceUniformRoundTrip(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// midBatchCollapseValues is the mid-batch-collapse workload: an
+// 18-decade logarithmic ramp in a deterministic Weyl-style shuffle, so
+// every contiguous sub-slice — every uniformBatchChunk, and every chunk
+// Sharded hands to a shard — spans (almost) the full dynamic range and
+// overflows a small uniform budget many times inside one AddBatch.
+// Negatives and zeros are mixed in to exercise both stores and the zero
+// counter across collapses.
+func midBatchCollapseValues(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		pos := float64((uint64(i)*2654435761)%uint64(n)) / float64(n)
+		v := 1e-9 * math.Pow(10, 18*pos)
+		switch {
+		case i%7 == 3:
+			v = -v
+		case i%11 == 5:
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// collapseTo pre-coarsens a snapshot to the given epoch, the explicit
+// form of the reconciliation MergeWith performs.
+func collapseTo(t *testing.T, s *ddsketch.DDSketch, epoch int) {
+	t.Helper()
+	for s.CollapseEpoch() < epoch {
+		if err := s.CollapseUniformly(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConformanceUniformMidBatchCollapse: a single AddBatch that forces
+// several collapse epochs produces, on every variant, exactly the bins,
+// epoch, and α' the equivalent per-value loop produces — the chunked
+// batch path's re-hoist after each collapse check is invisible in the
+// answers. Budget 4 drives the collapse recurrence nearly to
+// exhaustion; 512 collapses a realistic store a couple of times.
+func TestConformanceUniformMidBatchCollapse(t *testing.T) {
+	values := midBatchCollapseValues(8192)
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, budget := range []int{4, 8, 512} {
+		base := []ddsketch.Option{ddsketch.WithUniformCollapse(budget)}
+		for name, batched := range conformanceVariantsWith(t, base...) {
+			t.Run(fmt.Sprintf("budget=%d/%s", budget, name), func(t *testing.T) {
+				perValue := conformanceVariantsWith(t, base...)[name]
+				if err := batched.AddBatch(values); err != nil {
+					t.Fatalf("AddBatch: %v", err)
+				}
+				fillAll(t, perValue, values)
+
+				bs, ps := batched.Snapshot(), perValue.Snapshot()
+				if bs.CollapseEpoch() < 2 {
+					t.Fatalf("batch path collapsed %d times, want ≥2 (the mid-batch collapses are the point)",
+						bs.CollapseEpoch())
+				}
+				// Both paths obey the α' = 2α/(1+α²) recurrence bit-exactly
+				// at whatever epoch they reached.
+				for which, snap := range map[string]*ddsketch.DDSketch{"batch": bs, "perValue": ps} {
+					if got, want := snap.RelativeAccuracy(), alphaAfterEpochs(confAlpha, snap.CollapseEpoch()); got != want {
+						t.Errorf("%s: RelativeAccuracy = %v, want exactly %v (α' recurrence at epoch %d)",
+							which, got, want, snap.CollapseEpoch())
+					}
+				}
+				switch name {
+				case "DDSketch", "Concurrent", "TimeWindowed":
+					// Deterministic routing: the two loops must land on the
+					// same epoch, not just equivalent bins.
+					if bs.CollapseEpoch() != ps.CollapseEpoch() {
+						t.Fatalf("epoch: batch %d != perValue %d", bs.CollapseEpoch(), ps.CollapseEpoch())
+					}
+				default:
+					// Sharded routing is randomized, so the merged epochs can
+					// differ run to run; align both snapshots (folding
+					// commutes with insertion) before comparing bins.
+					top := max(bs.CollapseEpoch(), ps.CollapseEpoch())
+					collapseTo(t, bs, top)
+					collapseTo(t, ps, top)
+				}
+				assertBinIdentical(t, bs, ps)
+				if got, want := bs.Count(), ps.Count(); got != want {
+					t.Errorf("Count = %g, want %g", got, want)
+				}
+				for stat, pair := range map[string][2]func() (float64, error){
+					"Min": {bs.Min, ps.Min}, "Max": {bs.Max, ps.Max},
+				} {
+					if got, want := mustQuery(t, pair[0]), mustQuery(t, pair[1]); got != want {
+						t.Errorf("%s = %g, want %g", stat, got, want)
+					}
+				}
+				gotSum, wantSum := mustQuery(t, bs.Sum), mustQuery(t, ps.Sum)
+				if rel := math.Abs(gotSum-wantSum) / math.Abs(wantSum); rel > 1e-9 {
+					t.Errorf("Sum = %g, want %g (rel %g)", gotSum, wantSum, rel)
+				}
+				// The epoch's α' guarantee holds across the whole range even
+				// after the batch-path collapses.
+				alphaE := bs.RelativeAccuracy()
+				for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+					est, err := bs.Quantile(q)
+					if err != nil {
+						t.Fatalf("Quantile(%g): %v", q, err)
+					}
+					truth := exact.Quantile(sorted, q)
+					if rel := exact.RelativeError(est, truth); rel > alphaE*(1+1e-9) {
+						t.Errorf("q=%g: estimate %g vs exact %g: relative error %g exceeds α'=%g",
+							q, est, truth, rel, alphaE)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 
 	"github.com/ddsketch-go/ddsketch/mapping"
 	"github.com/ddsketch-go/ddsketch/store"
@@ -251,16 +252,7 @@ func (s *DDSketch) AddBatchWithCount(values []float64, count float64) error {
 		return fmt.Errorf("%w: got %v", ErrNegativeCount, count)
 	}
 	if s.uniformMaxBins > 0 {
-		// A collapse mid-batch swaps the mapping out from under the
-		// hoisted locals below, so the uniform mode takes the per-value
-		// path, which re-reads the mapping (and checks the bin budget)
-		// on every insertion. Same bins, same stop-at-first-error.
-		for i, value := range values {
-			if err := s.AddWithCount(value, count); err != nil {
-				return fmt.Errorf("batch index %d: %w", i, err)
-			}
-		}
-		return nil
+		return s.addBatchUniform(values, count)
 	}
 	m := s.mapping
 	minIndexable, maxIndexable := m.MinIndexableValue(), m.MaxIndexableValue()
@@ -278,8 +270,7 @@ func (s *DDSketch) AddBatchWithCount(values []float64, count float64) error {
 		case value < 0 && magnitude <= maxIndexable:
 			negative.AddWithCount(m.Index(magnitude), count)
 		default:
-			return fmt.Errorf("%w: got %v (batch index %d), max indexable magnitude is %v",
-				ErrValueOutOfRange, value, i, maxIndexable)
+			return &batchError{value: value, index: i, maxIndexable: maxIndexable}
 		}
 		if value < s.min {
 			s.min = value
@@ -291,6 +282,97 @@ func (s *DDSketch) AddBatchWithCount(values []float64, count float64) error {
 	}
 	return nil
 }
+
+// uniformBatchChunk is how many values the uniform batch path inserts
+// between collapse checks. One check costs four index-hint scans
+// (min/max of both stores), so 128 values amortize it to noise while
+// keeping the transient over-budget growth of the stores small (at most
+// one chunk's worth of fresh buckets beyond the bin budget).
+const uniformBatchChunk = 128
+
+// addBatchUniform is the batch fast path for uniform-collapse sketches.
+// A collapse swaps the mapping out from under hoisted locals, so the
+// batch is processed in chunks: the mapping locals, indexable bounds,
+// and store references are hoisted per chunk, and after each chunk one
+// combined-span check runs (maybeCollapse); if a collapse fires, the
+// next chunk re-hoists and continues.
+//
+// The result is bin-for-bin identical to the per-value loop, which
+// checks the budget after every insertion: folding buckets pairwise
+// commutes with inserting — ⌈Index_γ(v)/2⌉ lands in the same bucket as
+// Index_γ²(v) — so collapsing after a chunk instead of mid-chunk folds
+// the already-inserted suffix to exactly the buckets a post-collapse
+// insertion would have used, and both loops end at the lowest epoch
+// whose folded span fits the budget.
+//
+// One caveat bounds the equivalence: the indexable range itself
+// tightens as γ grows (min up from ~1e-308, max down from ~1e308), and
+// this loop checks it at the chunk's starting epoch where the per-value
+// loop checks it at the current one. A value within one batch's collapse
+// factor of those float64 extremes can therefore be indexed (or
+// zero-counted) here where the per-value loop, having already
+// collapsed, would reject (or index) it. Reaching the divergence takes
+// a magnitude beyond ~γ⁻²ᵉ·MaxFloat64 alongside a mid-chunk collapse —
+// far outside anything the sketch can meaningfully summarize — and
+// either routing stays within the epoch's α' for values both accept.
+func (s *DDSketch) addBatchUniform(values []float64, count float64) error {
+	for lo := 0; lo < len(values); lo += uniformBatchChunk {
+		hi := lo + uniformBatchChunk
+		if hi > len(values) {
+			hi = len(values)
+		}
+		m := s.mapping
+		minIndexable, maxIndexable := m.MinIndexableValue(), m.MaxIndexableValue()
+		positive, negative := s.positive, s.negative
+		for i, value := range values[lo:hi] {
+			magnitude := math.Abs(value)
+			switch {
+			case magnitude < minIndexable:
+				s.zeroCount += count
+			case value > 0 && magnitude <= maxIndexable:
+				positive.AddWithCount(m.Index(magnitude), count)
+			case value < 0 && magnitude <= maxIndexable:
+				negative.AddWithCount(m.Index(magnitude), count)
+			default:
+				// Fold the recorded prefix back within budget before
+				// surfacing the error, exactly as the per-value loop
+				// (which collapses after every insertion) would leave it.
+				s.maybeCollapse()
+				return &batchError{value: value, index: lo + i, maxIndexable: maxIndexable}
+			}
+			if value < s.min {
+				s.min = value
+			}
+			if value > s.max {
+				s.max = value
+			}
+			s.sum += value * count
+		}
+		// One combined-span check per chunk: maybeCollapse is a no-op
+		// while the span fits and folds to fit (re-deriving the mapping)
+		// when it does not.
+		s.maybeCollapse()
+	}
+	return nil
+}
+
+// batchError reports a value a batch path could not record and its
+// position in the batch. Both batch paths (hoisted and chunked-uniform)
+// and every variant return it, so a mid-batch failure reads identically
+// whichever path ran; Sharded re-offsets index from chunk-relative to
+// batch-relative before returning it.
+type batchError struct {
+	value        float64
+	index        int
+	maxIndexable float64
+}
+
+func (e *batchError) Error() string {
+	return fmt.Sprintf("%v: got %v (batch index %d), max indexable magnitude is %v",
+		ErrValueOutOfRange, e.value, e.index, e.maxIndexable)
+}
+
+func (e *batchError) Unwrap() error { return ErrValueOutOfRange }
 
 // apply routes a (possibly negative-count) update to the right store.
 func (s *DDSketch) apply(value, count float64) error {
@@ -332,7 +414,10 @@ func storeSpan(st store.Store) int {
 	if err != nil {
 		return 0
 	}
-	hi, _ := st.MaxIndex()
+	hi, err := st.MaxIndex()
+	if err != nil {
+		return 0
+	}
 	return hi - lo + 1
 }
 
@@ -721,9 +806,11 @@ func (s *DDSketch) NumBins() int {
 
 // SizeBytes estimates the sketch's in-memory footprint in bytes,
 // counting both stores and the fixed fields. This is the quantity
-// Figure 6 of the paper tracks.
+// Figure 6 of the paper tracks. Sizeof keeps the fixed-field term in
+// sync with the struct (the uniform-collapse fields grew it past the
+// historical constant).
 func (s *DDSketch) SizeBytes() int {
-	return s.positive.SizeBytes() + s.negative.SizeBytes() + 72
+	return s.positive.SizeBytes() + s.negative.SizeBytes() + int(unsafe.Sizeof(*s))
 }
 
 // Collapsed reports whether the sketch has collapsed: either store has

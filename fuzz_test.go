@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/encoding"
 	"github.com/ddsketch-go/ddsketch/internal/datagen"
 	"github.com/ddsketch-go/ddsketch/internal/exact"
 	"github.com/ddsketch-go/ddsketch/mapping"
@@ -66,6 +67,18 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte("DDS"))             // magic only
 	f.Add([]byte{'D', 'D', 'S', 99}) // unsupported version
+
+	// Hostile-statistics seeds: structurally valid payloads whose
+	// min/max/sum/zeroCount no encoder can produce (they must be rejected,
+	// not decoded into query-poisoning sketches).
+	nan, inf := math.NaN(), math.Inf(1)
+	f.Add(hostileStatsPayload(0, nan, 2, 3, 1))
+	f.Add(hostileStatsPayload(0, 1, nan, 3, 1))
+	f.Add(hostileStatsPayload(0, 1, 2, inf, 1))
+	f.Add(hostileStatsPayload(nan, 1, 2, 3, 1))
+	f.Add(hostileStatsPayload(-5, 1, 2, 3, 1))
+	f.Add(hostileStatsPayload(0, 5, 1, 3, 1)) // min > max with weight
+	f.Add(hostileUniformLineagePayload())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ddsketch.Decode(data)
@@ -194,6 +207,155 @@ func FuzzMergeMixedEpochs(f *testing.F) {
 			t.Fatalf("reverse Count = %g, forward %g", reverse.Count(), merged.Count())
 		}
 	})
+}
+
+// hostileStatsPayload builds a wire payload that is valid in every way
+// except for attacker-chosen statistics: version 1, the default
+// logarithmic mapping, then zeroCount/min/max/sum verbatim, a positive
+// dense store holding binCount at index 0 (0 omits the bin, for empty
+// payloads), and an empty negative store.
+func hostileStatsPayload(zeroCount, min, max, sum float64, binCount float64) []byte {
+	w := encoding.NewWriter(64)
+	w.Byte('D')
+	w.Byte('D')
+	w.Byte('S')
+	w.Byte(1)
+	m, err := mapping.NewLogarithmic(0.01)
+	if err != nil {
+		panic(err)
+	}
+	m.Encode(w)
+	w.Varfloat64(zeroCount)
+	w.Varfloat64(min)
+	w.Varfloat64(max)
+	w.Varfloat64(sum)
+	positive := store.NewDenseStore()
+	if binCount > 0 {
+		positive.AddWithCount(0, binCount)
+	}
+	positive.Encode(w)
+	store.NewDenseStore().Encode(w)
+	return w.Bytes()
+}
+
+// hostileUniformLineagePayload builds a version-2 payload pairing
+// uniform-collapse lineage (budget + epoch) with a collapsing store —
+// a configuration NewSketch can never build, since uniform mode owns
+// its dense stores.
+func hostileUniformLineagePayload() []byte {
+	w := encoding.NewWriter(64)
+	w.Byte('D')
+	w.Byte('D')
+	w.Byte('S')
+	w.Byte(2)
+	w.Uvarint(32) // uniform bin budget
+	w.Uvarint(1)  // collapse epoch
+	m, err := mapping.NewLogarithmic(0.01)
+	if err != nil {
+		panic(err)
+	}
+	m.Encode(w)
+	w.Varfloat64(0) // zeroCount
+	w.Varfloat64(1) // min
+	w.Varfloat64(1) // max
+	w.Varfloat64(1) // sum
+	positive := store.NewCollapsingLowestDenseStore(16)
+	positive.Add(0)
+	positive.Encode(w)
+	store.NewDenseStore().Encode(w)
+	return w.Bytes()
+}
+
+// TestDecodeRejectsHostileStatistics locks in the statistics validation:
+// payloads whose exact statistics no encoder can produce — NaN or
+// infinite extremes and sums, inverted extremes alongside positive
+// weight, negative or non-finite zero counts — are rejected with
+// ErrInvalidEncoding instead of poisoning every later Quantile through
+// the min/max clamp.
+func TestDecodeRejectsHostileStatistics(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	hostile := map[string][]byte{
+		"NaN min":            hostileStatsPayload(0, nan, 2, 3, 1),
+		"NaN max":            hostileStatsPayload(0, 1, nan, 3, 1),
+		"NaN sum":            hostileStatsPayload(0, 1, 2, nan, 1),
+		"Inf sum":            hostileStatsPayload(0, 1, 2, inf, 1),
+		"Inf min with count": hostileStatsPayload(0, inf, inf, 3, 1),
+		"min above max":      hostileStatsPayload(0, 5, 1, 3, 1),
+		"NaN zero count":     hostileStatsPayload(nan, 1, 2, 3, 1),
+		"negative zero count": hostileStatsPayload(
+			-5, 1, 2, 3, 1),
+		"Inf zero count": hostileStatsPayload(inf, 1, 2, 3, 1),
+		"min above max from zero count only": hostileStatsPayload(
+			2, 5, 1, 3, 0),
+		"uniform lineage with collapsing store": hostileUniformLineagePayload(),
+	}
+	for name, payload := range hostile {
+		if _, err := ddsketch.Decode(payload); !errors.Is(err, ddsketch.ErrInvalidEncoding) {
+			t.Errorf("%s: Decode err = %v, want ErrInvalidEncoding", name, err)
+		}
+	}
+
+	// Positive controls: the validation must not reject what Encode
+	// writes — an empty sketch carries min = +Inf, max = −Inf legally.
+	for name, payload := range map[string][]byte{
+		"empty sketch":        hostileStatsPayload(0, inf, math.Inf(-1), 0, 0),
+		"zero-count only":     hostileStatsPayload(3, 0, 0, 0, 0),
+		"single-value sketch": hostileStatsPayload(0, 1, 1, 1, 1),
+	} {
+		s, err := ddsketch.Decode(payload)
+		if err != nil {
+			t.Errorf("%s: Decode err = %v, want nil", name, err)
+			continue
+		}
+		if !s.IsEmpty() {
+			if _, err := s.Quantile(0.5); err != nil {
+				t.Errorf("%s: Quantile after decode: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestDecodeAcceptsExplicitlyCoarsenedCollapsingSketch: a budget-less
+// sketch pre-coarsened through the public CollapseUniformly (e.g. to
+// match a peer's epoch before shipping) carries epoch > 0 on collapsing
+// stores — a combination Encode legitimately produces, which the
+// budget/store-tag validation must not reject.
+func TestDecodeAcceptsExplicitlyCoarsenedCollapsingSketch(t *testing.T) {
+	s, err := ddsketch.NewCollapsing(0.01, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if err := s.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CollapseUniformly(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ddsketch.Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got, want := decoded.CollapseEpoch(), s.CollapseEpoch(); got != want {
+		t.Errorf("decoded epoch = %d, want %d", got, want)
+	}
+	if got, want := decoded.Count(), s.Count(); got != want {
+		t.Errorf("decoded Count = %g, want %g", got, want)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		got, err := decoded.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("q=%g: decoded %g != original %g", q, got, want)
+		}
+	}
 }
 
 // TestDecodeRejectsHostileBins locks in the decode-time validation: bin

@@ -73,15 +73,23 @@ const BenchBatchSize = 1024
 
 // benchMappings are the index mappings the sweep covers: the
 // memory-optimal logarithmic mapping and the three §2.2 interpolated
-// ones ("DDSketch fast" is the linear row).
+// ones ("DDSketch fast" is the linear row), plus a uniform-collapse
+// (UDDSketch-mode) cell over the logarithmic mapping so the chunked
+// uniform batch path is gated alongside the hoisted one. The uniform
+// budget equals DDSketchMaxBins, which no sweep dataset overflows at
+// α = 1% — the cell measures the mode's bookkeeping (per-insert span
+// checks vs per-chunk ones), and the accuracy gate keeps applying the
+// un-collapsed α.
 var benchMappings = []struct {
-	name string
-	new  func(float64) (mapping.IndexMapping, error)
+	name    string
+	new     func(float64) (mapping.IndexMapping, error)
+	uniform bool
 }{
-	{"log", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }},
-	{"linear", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLinearlyInterpolated(a) }},
-	{"quadratic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewQuadraticallyInterpolated(a) }},
-	{"cubic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewCubicallyInterpolated(a) }},
+	{"log", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }, false},
+	{"log-uniform", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }, true},
+	{"linear", func(a float64) (mapping.IndexMapping, error) { return mapping.NewLinearlyInterpolated(a) }, false},
+	{"quadratic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewQuadraticallyInterpolated(a) }, false},
+	{"cubic", func(a float64) (mapping.IndexMapping, error) { return mapping.NewCubicallyInterpolated(a) }, false},
 }
 
 // benchReps is how many times each timed section runs; the fastest rep
@@ -109,7 +117,7 @@ func RunBench(cfg Config) (BenchReport, error) {
 		sorted := append([]float64(nil), values...)
 		sort.Float64s(sorted)
 		for _, bm := range benchMappings {
-			entry, err := benchEntry(dataset, bm.name, bm.new, values, sorted)
+			entry, err := benchEntry(dataset, bm.name, bm.new, bm.uniform, values, sorted)
 			if err != nil {
 				return BenchReport{}, err
 			}
@@ -121,13 +129,17 @@ func RunBench(cfg Config) (BenchReport, error) {
 
 // benchEntry measures one dataset × mapping cell.
 func benchEntry(dataset, mappingName string, newMapping func(float64) (mapping.IndexMapping, error),
-	values, sorted []float64) (BenchEntry, error) {
+	uniform bool, values, sorted []float64) (BenchEntry, error) {
 	newSketch := func() (*ddsketch.DDSketch, error) {
 		m, err := newMapping(DDSketchAlpha)
 		if err != nil {
 			return nil, err
 		}
-		s, err := ddsketch.NewSketch(ddsketch.WithMapping(m), ddsketch.WithMaxBins(DDSketchMaxBins))
+		bound := ddsketch.WithMaxBins(DDSketchMaxBins)
+		if uniform {
+			bound = ddsketch.WithUniformCollapse(DDSketchMaxBins)
+		}
+		s, err := ddsketch.NewSketch(ddsketch.WithMapping(m), bound)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package ddsketch
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/ddsketch-go/ddsketch/encoding"
 	"github.com/ddsketch-go/ddsketch/mapping"
@@ -174,6 +175,21 @@ func Decode(data []byte) (*DDSketch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: decoding sum: %w", ErrInvalidEncoding, err)
 	}
+	// Validate the statistics before decoding the stores: a NaN statistic
+	// (or a negative or non-finite zero count, or an infinite sum) would
+	// poison every Quantile through the min/max clamp and every Count and
+	// Avg through the counters. Infinite sums and zero counts are
+	// technically reachable by float64 overflow of legal insertions, but
+	// only past ~1.8e308 of accumulated weight — outside the wire
+	// format's domain, so they are treated as hostile rather than carried
+	// into an aggregate they would silently saturate.
+	if math.IsNaN(zeroCount) || math.IsInf(zeroCount, 0) || zeroCount < 0 {
+		return nil, fmt.Errorf("%w: zero count %v", ErrInvalidEncoding, zeroCount)
+	}
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return nil, fmt.Errorf("%w: non-finite statistics (min %v, max %v, sum %v)",
+			ErrInvalidEncoding, min, max, sum)
+	}
 	positive, err := store.Decode(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: decoding positive store: %w", ErrInvalidEncoding, err)
@@ -181,6 +197,28 @@ func Decode(data []byte) (*DDSketch, error) {
 	negative, err := store.Decode(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: decoding negative store: %w", ErrInvalidEncoding, err)
+	}
+	// A sketch holding weight has finite, ordered extremes: only finite
+	// values can be inserted, and every insertion updates min and max.
+	// (An empty sketch legitimately carries min = +Inf, max = −Inf.)
+	if count := zeroCount + positive.TotalCount() + negative.TotalCount(); count > 0 {
+		if math.IsInf(min, 0) || math.IsInf(max, 0) || min > max {
+			return nil, fmt.Errorf("%w: extremes [%v, %v] with count %v",
+				ErrInvalidEncoding, min, max, count)
+		}
+	}
+	if uniformMaxBins > 0 {
+		// A uniform bin budget owns unbounded dense stores (the
+		// sketch-level fold is what bounds them); a budget paired with any
+		// other store type is a configuration NewSketch can never build.
+		// An epoch alone is legal on any store: the public
+		// CollapseUniformly pre-coarsens budget-less sketches in place.
+		for side, st := range map[string]store.Store{"positive": positive, "negative": negative} {
+			if _, ok := st.(*store.DenseStore); !ok {
+				return nil, fmt.Errorf("%w: uniform bin budget %d with a non-dense %s store %T",
+					ErrInvalidEncoding, uniformMaxBins, side, st)
+			}
+		}
 	}
 	return &DDSketch{
 		mapping:        m,

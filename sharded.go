@@ -1,6 +1,7 @@
 package ddsketch
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -158,6 +159,12 @@ func (s *Sharded) AddBatchWithCount(values []float64, count float64) error {
 		err := sh.sketch.AddBatchWithCount(values[lo:hi], count)
 		sh.mu.Unlock()
 		if err != nil {
+			// The shard saw only its chunk; re-offset the reported batch
+			// index so the error reads identically to the unsharded paths.
+			var be *batchError
+			if errors.As(err, &be) {
+				be.index += lo
+			}
 			return err
 		}
 	}
