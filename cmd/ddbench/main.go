@@ -35,6 +35,8 @@ func main() {
 		"experiment to run: "+strings.Join(harness.IDs(), ", ")+", or all (text mode only)")
 	n := flag.Int("n", harness.DefaultConfig().N, "maximum number of values per dataset")
 	seed := flag.Uint64("seed", 1, "seed for the dataset generators")
+	mappingName := flag.String("mapping", "log",
+		"index mapping for the experiments with a mapping axis (uniform): log, linear, quadratic, cubic")
 	timing := flag.Bool("time", false, "print wall-clock time per experiment")
 	format := flag.String("format", "text", "output format: text (paper tables) or json (benchmark sweep)")
 	out := flag.String("out", "BENCH_results.json", "json mode: path the report is written to")
@@ -42,7 +44,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "json mode: allowed fractional add-path slowdown vs the baseline")
 	flag.Parse()
 
-	cfg := harness.Config{N: *n, Seed: *seed}
+	cfg := harness.Config{N: *n, Seed: *seed, Mapping: *mappingName}
 	switch *format {
 	case "json":
 		runJSON(cfg, *out, *baseline, *tolerance)

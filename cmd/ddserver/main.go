@@ -22,6 +22,7 @@
 // Example:
 //
 //	ddserver -addr :8080 -alpha 0.01 -window 10s -windows 6
+//	ddserver -mapping cubic -uniform-collapse -max-bins 512
 //	curl -s 'localhost:8080/quantile?q=0.5,0.99'
 //	curl -s 'localhost:8080/summary'
 package main
@@ -39,6 +40,8 @@ func main() {
 	cfg := defaultConfig()
 	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
 	flag.Float64Var(&cfg.alpha, "alpha", cfg.alpha, "relative accuracy α of the aggregate sketch")
+	flag.StringVar(&cfg.mappingName, "mapping", cfg.mappingName,
+		"index mapping: log, linear, quadratic, cubic (interpolated mappings skip math.Log on insertion)")
 	flag.IntVar(&cfg.maxBins, "max-bins", cfg.maxBins, "bucket budget (per store when collapsing lowest, total when uniform)")
 	flag.BoolVar(&cfg.uniform, "uniform-collapse", cfg.uniform,
 		"collapse uniformly under the bin budget (UDDSketch: degrade α everywhere) instead of lowest-first")
@@ -61,8 +64,8 @@ func main() {
 	defer close(stop)
 	go srv.runDrainLoop(ticker.C, stop)
 
-	log.Printf("ddserver listening on %s (α=%g, %d windows × %v)",
-		cfg.addr, cfg.alpha, cfg.windows, cfg.interval)
+	log.Printf("ddserver listening on %s (α=%g, mapping=%s, %d windows × %v)",
+		cfg.addr, cfg.alpha, cfg.mappingName, cfg.windows, cfg.interval)
 	if err := http.ListenAndServe(cfg.addr, srv.handler()); err != nil {
 		log.Fatal(err)
 	}

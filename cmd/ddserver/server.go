@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/mapping"
 )
 
 // maxIngestBytes bounds the size of one POSTed payload. A DDSketch with
@@ -22,25 +23,46 @@ const maxIngestBytes = 1 << 20
 
 // config collects the tunables of the aggregation service.
 type config struct {
-	addr     string
-	alpha    float64       // relative accuracy α of the aggregate sketch
-	maxBins  int           // bin budget per store (lowest) or in total (uniform)
-	uniform  bool          // collapse uniformly (UDDSketch) instead of lowest-first
-	shards   int           // shard count for the live ingest layer (0 = auto)
-	interval time.Duration // duration of one aggregation window
-	windows  int           // number of retained windows
-	now      func() time.Time
+	addr        string
+	alpha       float64       // relative accuracy α of the aggregate sketch
+	mappingName string        // index mapping: log, linear, quadratic, cubic
+	maxBins     int           // bin budget per store (lowest) or in total (uniform)
+	uniform     bool          // collapse uniformly (UDDSketch) instead of lowest-first
+	shards      int           // shard count for the live ingest layer (0 = auto)
+	interval    time.Duration // duration of one aggregation window
+	windows     int           // number of retained windows
+	now         func() time.Time
 }
 
 func defaultConfig() config {
 	return config{
-		addr:     ":8080",
-		alpha:    0.01,
-		maxBins:  2048,
-		shards:   0,
-		interval: 10 * time.Second,
-		windows:  6,
-		now:      time.Now,
+		addr:        ":8080",
+		alpha:       0.01,
+		mappingName: "log",
+		maxBins:     2048,
+		shards:      0,
+		interval:    10 * time.Second,
+		windows:     6,
+		now:         time.Now,
+	}
+}
+
+// newMapping resolves the -mapping selector into a concrete index
+// mapping at the configured α. The interpolated mappings trade a few
+// percent more buckets for a math.Log-free insertion path (§4 of the
+// paper); all four support uniform collapse.
+func (c config) newMapping() (mapping.IndexMapping, error) {
+	switch c.mappingName {
+	case "", "log":
+		return mapping.NewLogarithmic(c.alpha)
+	case "linear":
+		return mapping.NewLinearlyInterpolated(c.alpha)
+	case "quadratic":
+		return mapping.NewQuadraticallyInterpolated(c.alpha)
+	case "cubic":
+		return mapping.NewCubicallyInterpolated(c.alpha)
+	default:
+		return nil, fmt.Errorf("unknown mapping %q (want log, linear, quadratic, or cubic)", c.mappingName)
 	}
 }
 
@@ -70,6 +92,10 @@ func newServer(cfg config) (*server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	m, err := cfg.newMapping()
+	if err != nil {
+		return nil, err
+	}
 	boundOpt := ddsketch.WithMaxBins(cfg.maxBins)
 	if cfg.uniform {
 		// UDDSketch mode: degrade α uniformly under the bin budget
@@ -77,8 +103,11 @@ func newServer(cfg config) (*server, error) {
 		// slots collapse independently and reconcile on merge.
 		boundOpt = ddsketch.WithUniformCollapse(cfg.maxBins)
 	}
+	// The mapping carries its own accuracy, so it replaces
+	// WithRelativeAccuracy; NewSketch rejects invalid combinations with a
+	// clear error, which main surfaces as a startup failure.
 	sketch, err := ddsketch.NewSketch(
-		ddsketch.WithRelativeAccuracy(cfg.alpha),
+		ddsketch.WithMapping(m),
 		boundOpt,
 		ddsketch.WithSharding(cfg.shards),
 		ddsketch.WithWindow(cfg.interval, cfg.windows),
@@ -354,9 +383,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.uniform {
 		collapseMode = "uniform"
 	}
+	mappingName := s.cfg.mappingName
+	if mappingName == "" {
+		mappingName = "log"
+	}
 	stats := map[string]any{
 		"relative_accuracy": s.agg.RelativeAccuracy(),
 		"collapse_mode":     collapseMode,
+		"mapping":           mappingName,
 		"shards":            s.agg.NumShards(),
 		"window_interval":   s.cfg.interval.String(),
 		"windows":           s.agg.Windows(),
@@ -376,10 +410,35 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// data; report what this merged view actually guarantees.
 		stats["current_alpha"] = summary.RelativeAccuracy
 		stats["collapse_epoch"] = summary.CollapseEpoch
+		stats["mapping_detail"] = s.mappingDetail(summary.CollapseEpoch)
 	} else {
 		stats["count"] = 0.0
 		stats["current_alpha"] = s.agg.RelativeAccuracy()
 		stats["collapse_epoch"] = 0
+		stats["mapping_detail"] = s.mappingDetail(0)
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// mappingDetail renders the aggregate's active mapping: the configured
+// base coarsened to the given collapse epoch — the same derivation the
+// wire decoder performs — so /stats reports the full collapse lineage
+// (base α, epoch, effective γ), not just the selector name.
+func (s *server) mappingDetail(epoch int) string {
+	m, err := s.cfg.newMapping()
+	if err != nil {
+		return ""
+	}
+	for i := 0; i < epoch; i++ {
+		c, ok := m.(mapping.Coarsenable)
+		if !ok {
+			break
+		}
+		next, err := c.Coarsen()
+		if err != nil {
+			break
+		}
+		m = next
+	}
+	return m.String()
 }

@@ -584,3 +584,87 @@ func TestServerUniformCollapse(t *testing.T) {
 		t.Errorf("summary collapse_epoch = %d, want %d", got, epoch)
 	}
 }
+
+// TestServerMappingSelector covers the -mapping flag: every selector
+// builds a working server that reports its mapping in /stats, an
+// unknown selector fails startup with a clear error, and an interpolated
+// mapping composed with uniform collapse exposes its collapse lineage.
+func TestServerMappingSelector(t *testing.T) {
+	for _, name := range []string{"log", "linear", "quadratic", "cubic"} {
+		cfg := defaultConfig()
+		cfg.mappingName = name
+		cfg.now = newTestClock().Now
+		srv, err := newServer(cfg)
+		if err != nil {
+			t.Fatalf("mapping %q: %v", name, err)
+		}
+		ts := httptest.NewServer(srv.handler())
+		resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1 2 3"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+		ts.Close()
+		if got := stats["mapping"].(string); got != name {
+			t.Errorf("mapping %q: /stats mapping = %q", name, got)
+		}
+		if detail := stats["mapping_detail"].(string); detail == "" {
+			t.Errorf("mapping %q: /stats mapping_detail is empty", name)
+		}
+	}
+
+	cfg := defaultConfig()
+	cfg.mappingName = "hyperbolic"
+	cfg.now = newTestClock().Now
+	if _, err := newServer(cfg); err == nil || !strings.Contains(err.Error(), "hyperbolic") {
+		t.Errorf("unknown mapping: err = %v, want a clear error naming it", err)
+	}
+}
+
+// TestServerUniformCollapseCubicMapping runs UDDSketch mode over the
+// cubic mapping: collapses happen, /stats reports the degraded α and a
+// mapping_detail carrying the collapse lineage.
+func TestServerUniformCollapseCubicMapping(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.mappingName = "cubic"
+	cfg.maxBins = 64
+	cfg.uniform = true
+	cfg.now = newTestClock().Now
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	var sb strings.Builder
+	n := 2000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%g\n", math.Pow(10, 12*float64(i)/float64(n-1)))
+	}
+	resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /values: status %d", resp.StatusCode)
+	}
+
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["mapping"].(string); got != "cubic" {
+		t.Errorf("mapping = %q, want \"cubic\"", got)
+	}
+	epoch := int(stats["collapse_epoch"].(float64))
+	if epoch == 0 {
+		t.Fatal("collapse_epoch = 0, want > 0 after a 12-decade stream into 64 bins")
+	}
+	if got := stats["current_alpha"].(float64); got <= cfg.alpha {
+		t.Errorf("current_alpha = %g, want degraded above α=%g", got, cfg.alpha)
+	}
+	detail := stats["mapping_detail"].(string)
+	if !strings.Contains(detail, "Cubically") || !strings.Contains(detail, "collapseEpoch") {
+		t.Errorf("mapping_detail = %q, want the cubic mapping with its collapse lineage", detail)
+	}
+}

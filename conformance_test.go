@@ -42,12 +42,24 @@ const (
 // variants use a fixed clock, so nothing rotates away during a test.
 func conformanceVariantsWith(t *testing.T, base ...ddsketch.Option) map[string]ddsketch.Sketch {
 	t.Helper()
+	return conformanceVariantsOf(t, func() []ddsketch.Option {
+		return append([]ddsketch.Option{
+			ddsketch.WithRelativeAccuracy(confAlpha),
+		}, base...)
+	})
+}
+
+// conformanceVariantsOf is the general form: baseOpts returns the
+// leading options (accuracy or mapping choice plus bounds) fresh for
+// each variant, so the mapping-axis suite can swap WithRelativeAccuracy
+// for WithMapping/WithFastDefaults without duplicating the variant
+// matrix.
+func conformanceVariantsOf(t *testing.T, baseOpts func() []ddsketch.Option) map[string]ddsketch.Sketch {
+	t.Helper()
 	clock := newFakeClock()
 	build := func(opts ...ddsketch.Option) ddsketch.Sketch {
 		t.Helper()
-		opts = append(append([]ddsketch.Option{
-			ddsketch.WithRelativeAccuracy(confAlpha),
-		}, base...), opts...)
+		opts = append(baseOpts(), opts...)
 		s, err := ddsketch.NewSketch(opts...)
 		if err != nil {
 			t.Fatal(err)
@@ -903,7 +915,7 @@ func TestConformanceUniformRoundTrip(t *testing.T) {
 
 // midBatchCollapseValues is the mid-batch-collapse workload: an
 // 18-decade logarithmic ramp in a deterministic Weyl-style shuffle, so
-// every contiguous sub-slice — every uniformBatchChunk, and every chunk
+// every contiguous sub-slice — every batchChunk, and every chunk
 // Sharded hands to a shard — spans (almost) the full dynamic range and
 // overflows a small uniform budget many times inside one AddBatch.
 // Negatives and zeros are mixed in to exercise both stores and the zero

@@ -79,9 +79,10 @@ var (
 	// mappings differ, which would void the accuracy guarantee.
 	ErrIncompatibleSketches = errors.New("ddsketch: cannot merge sketches with different mappings")
 	// ErrCannotCollapse is returned when a uniform collapse is requested
-	// on a sketch whose mapping cannot be coarsened (only the logarithmic
-	// mapping squares cleanly).
-	ErrCannotCollapse = errors.New("ddsketch: uniform collapse requires the logarithmic mapping")
+	// on a sketch whose mapping cannot be coarsened. All four mappings in
+	// the mapping package are coarsenable; only a custom IndexMapping
+	// that does not implement mapping.Coarsenable is rejected.
+	ErrCannotCollapse = errors.New("ddsketch: uniform collapse requires a coarsenable mapping")
 )
 
 // DDSketch is a quantile sketch with relative-error guarantees.
@@ -257,38 +258,83 @@ func (s *DDSketch) AddBatchWithCount(values []float64, count float64) error {
 	m := s.mapping
 	minIndexable, maxIndexable := m.MinIndexableValue(), m.MaxIndexableValue()
 	positive, negative := s.positive, s.negative
-	for i, value := range values {
-		magnitude := math.Abs(value)
-		// The guards mirror apply: NaN fails every comparison and ±Inf
-		// fails the ≤ maxIndexable ones, so both fall through to the
-		// error case without a dedicated branch on the hot path.
-		switch {
-		case magnitude < minIndexable:
-			s.zeroCount += count
-		case value > 0 && magnitude <= maxIndexable:
-			positive.AddWithCount(m.Index(magnitude), count)
-		case value < 0 && magnitude <= maxIndexable:
-			negative.AddWithCount(m.Index(magnitude), count)
-		default:
-			return &batchError{value: value, index: i, maxIndexable: maxIndexable}
+	var idx [batchChunk]int
+	for lo := 0; lo < len(values); lo += batchChunk {
+		hi := min(lo+batchChunk, len(values))
+		chunk := values[lo:hi]
+		indexChunk(m, chunk, &idx)
+		for i, value := range chunk {
+			magnitude := math.Abs(value)
+			// The guards mirror apply: NaN fails every comparison and ±Inf
+			// fails the ≤ maxIndexable ones, so both fall through to the
+			// error case without a dedicated branch on the hot path.
+			switch {
+			case magnitude < minIndexable:
+				s.zeroCount += count
+			case value > 0 && magnitude <= maxIndexable:
+				positive.AddWithCount(idx[i], count)
+			case value < 0 && magnitude <= maxIndexable:
+				negative.AddWithCount(idx[i], count)
+			default:
+				return &batchError{value: value, index: lo + i, maxIndexable: maxIndexable}
+			}
+			if value < s.min {
+				s.min = value
+			}
+			if value > s.max {
+				s.max = value
+			}
+			s.sum += value * count
 		}
-		if value < s.min {
-			s.min = value
-		}
-		if value > s.max {
-			s.max = value
-		}
-		s.sum += value * count
 	}
 	return nil
 }
 
-// uniformBatchChunk is how many values the uniform batch path inserts
-// between collapse checks. One check costs four index-hint scans
-// (min/max of both stores), so 128 values amortize it to noise while
-// keeping the transient over-budget growth of the stores small (at most
-// one chunk's worth of fresh buckets beyond the bin budget).
-const uniformBatchChunk = 128
+// batchChunk is how many values the batch paths process per chunk. For
+// the uniform path it is the collapse-check cadence: one check costs
+// four index-hint scans (min/max of both stores), so 128 values
+// amortize it to noise while keeping the transient over-budget growth
+// of the stores small (at most one chunk's worth of fresh buckets
+// beyond the bin budget). For both paths it bounds the stack buffer
+// indexChunk fills.
+const batchChunk = 128
+
+// indexChunk fills idx[:len(chunk)] with m.Index(|v|) for every value
+// of chunk, devirtualizing the mapping call: the type switch hoists the
+// dynamic dispatch out of the loop, so the concrete Index — a handful
+// of float and bit operations for the interpolated mappings — inlines
+// into a tight loop. This is where the paper's §4 "fast" mappings pay
+// off on pre-collected data.
+//
+// Values outside the indexable range (zero, subnormal, NaN, ±Inf, or
+// beyond the extremes) produce meaningless idx entries without
+// panicking; callers classify each value against the indexable bounds
+// before reading idx[i], exactly as the per-value path does, so those
+// entries are never used.
+func indexChunk(m mapping.IndexMapping, chunk []float64, idx *[batchChunk]int) {
+	switch mm := m.(type) {
+	case *mapping.CubicallyInterpolatedMapping:
+		for i, v := range chunk {
+			idx[i] = mm.Index(math.Abs(v))
+		}
+	case *mapping.LogarithmicMapping:
+		for i, v := range chunk {
+			idx[i] = mm.Index(math.Abs(v))
+		}
+	case *mapping.LinearlyInterpolatedMapping:
+		for i, v := range chunk {
+			idx[i] = mm.Index(math.Abs(v))
+		}
+	case *mapping.QuadraticallyInterpolatedMapping:
+		for i, v := range chunk {
+			idx[i] = mm.Index(math.Abs(v))
+		}
+	default:
+		for i, v := range chunk {
+			idx[i] = m.Index(math.Abs(v))
+		}
+	}
+}
 
 // addBatchUniform is the batch fast path for uniform-collapse sketches.
 // A collapse swaps the mapping out from under hoisted locals, so the
@@ -316,23 +362,23 @@ const uniformBatchChunk = 128
 // far outside anything the sketch can meaningfully summarize — and
 // either routing stays within the epoch's α' for values both accept.
 func (s *DDSketch) addBatchUniform(values []float64, count float64) error {
-	for lo := 0; lo < len(values); lo += uniformBatchChunk {
-		hi := lo + uniformBatchChunk
-		if hi > len(values) {
-			hi = len(values)
-		}
+	var idx [batchChunk]int
+	for lo := 0; lo < len(values); lo += batchChunk {
+		hi := min(lo+batchChunk, len(values))
 		m := s.mapping
 		minIndexable, maxIndexable := m.MinIndexableValue(), m.MaxIndexableValue()
 		positive, negative := s.positive, s.negative
-		for i, value := range values[lo:hi] {
+		chunk := values[lo:hi]
+		indexChunk(m, chunk, &idx)
+		for i, value := range chunk {
 			magnitude := math.Abs(value)
 			switch {
 			case magnitude < minIndexable:
 				s.zeroCount += count
 			case value > 0 && magnitude <= maxIndexable:
-				positive.AddWithCount(m.Index(magnitude), count)
+				positive.AddWithCount(idx[i], count)
 			case value < 0 && magnitude <= maxIndexable:
-				negative.AddWithCount(m.Index(magnitude), count)
+				negative.AddWithCount(idx[i], count)
 			default:
 				// Fold the recorded prefix back within budget before
 				// surfacing the error, exactly as the per-value loop
@@ -447,10 +493,11 @@ func (s *DDSketch) maybeCollapse() {
 //
 // Sketches built with WithUniformCollapse call this automatically when
 // their bin budget fills; calling it explicitly pre-coarsens a sketch
-// (e.g. to match a peer's epoch before shipping). It requires the
-// logarithmic mapping and fails with ErrCannotCollapse otherwise.
+// (e.g. to match a peer's epoch before shipping). It requires a
+// mapping implementing mapping.Coarsenable — all four mappings in the
+// mapping package do — and fails with ErrCannotCollapse otherwise.
 func (s *DDSketch) CollapseUniformly() error {
-	m, ok := s.mapping.(*mapping.LogarithmicMapping)
+	m, ok := s.mapping.(mapping.Coarsenable)
 	if !ok {
 		return fmt.Errorf("%w: have %v", ErrCannotCollapse, s.mapping)
 	}
@@ -708,7 +755,7 @@ func (s *DDSketch) reconcile(other *DDSketch) (*DDSketch, error) {
 	if s.epoch > other.epoch {
 		finer, coarser = other, s
 	}
-	m, ok := finer.mapping.(*mapping.LogarithmicMapping)
+	m, ok := finer.mapping.(mapping.Coarsenable)
 	if !ok {
 		return nil, incompatible
 	}
@@ -717,7 +764,10 @@ func (s *DDSketch) reconcile(other *DDSketch) (*DDSketch, error) {
 		if err != nil {
 			return nil, incompatible
 		}
-		m = next
+		m, ok = next.(mapping.Coarsenable)
+		if !ok {
+			return nil, incompatible
+		}
 	}
 	if !m.Equals(coarser.mapping) {
 		return nil, incompatible

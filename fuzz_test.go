@@ -389,3 +389,114 @@ func TestDecodeRejectsHostileBins(t *testing.T) {
 		}
 	}
 }
+
+// FuzzCoarsenIndexIdentity is the Coarsenable-contract fuzzer: for any
+// mapping kind, any α, and any number of collapse epochs, (1) each
+// coarsening folds indexes exactly — coarse.Index(x) == ⌈fine.Index(x)/2⌉
+// for every indexable x, the identity the sketch-level uniform collapse
+// (store.FoldPairwise) relies on — and (2) a uniform-collapse sketch on
+// that lineage merges bit-identically whether the peer arrives live or
+// through encode→decode, so wire merges of coarsened interpolated
+// mappings equal local ones.
+func FuzzCoarsenIndexIdentity(f *testing.F) {
+	f.Add(0.01, 1.0, uint8(1), byte(3), uint64(1), uint16(400))
+	f.Add(0.02, 1e-200, uint8(3), byte(1), uint64(2), uint16(1000))
+	f.Add(0.001, 12345.678, uint8(2), byte(2), uint64(3), uint16(64))
+	f.Add(0.05, 1e200, uint8(4), byte(0), uint64(4), uint16(1))
+
+	newMappingKind := func(alpha float64, kind byte) (mapping.IndexMapping, error) {
+		switch kind % 4 {
+		case 0:
+			return mapping.NewLogarithmic(alpha)
+		case 1:
+			return mapping.NewLinearlyInterpolated(alpha)
+		case 2:
+			return mapping.NewQuadraticallyInterpolated(alpha)
+		default:
+			return mapping.NewCubicallyInterpolated(alpha)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, alpha, value float64, epochs, kind uint8, seed uint64, n uint16) {
+		m, err := newMappingKind(alpha, byte(kind))
+		if err != nil {
+			return
+		}
+
+		// Part 1: the ⌈i/2⌉ fold identity across random epochs.
+		fine := m
+		for e := uint8(0); e < epochs%8; e++ {
+			coarse, err := fine.(mapping.Coarsenable).Coarsen()
+			if err != nil {
+				if errors.Is(err, mapping.ErrCannotCoarsen) {
+					break
+				}
+				t.Fatal(err)
+			}
+			v := math.Abs(value)
+			if !math.IsNaN(v) && v >= coarse.MinIndexableValue() && v <= coarse.MaxIndexableValue() {
+				i := fine.Index(v)
+				want := i / 2
+				if i > 0 {
+					want = (i + 1) / 2
+				}
+				if got := coarse.Index(v); got != want {
+					t.Fatalf("kind %d α=%v epoch %d: Index(%g) = %d, want ⌈%d/2⌉ = %d",
+						kind%4, alpha, e+1, v, got, i, want)
+				}
+			}
+			fine = coarse
+		}
+
+		// Part 2: wire merges on a coarsened lineage are bin-identical to
+		// local merges. Needs an α a uniform sketch can survive a few
+		// collapses at, so clamp instead of bailing.
+		if !(alpha >= 1e-4 && alpha <= 0.1) {
+			return
+		}
+		count := int(n%2048) + 1
+		values := datagen.ParetoSeeded(count, seed|1)
+		build := func() *ddsketch.DDSketch {
+			um, err := newMappingKind(alpha, byte(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := ddsketch.NewSketch(
+				ddsketch.WithMapping(um), ddsketch.WithUniformCollapse(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.(*ddsketch.DDSketch)
+		}
+		a, b := build(), build()
+		for i, v := range values {
+			target := a
+			if i%2 == 1 {
+				target = b
+			}
+			if err := target.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := uint8(0); i < epochs%4; i++ {
+			if err := b.CollapseUniformly(); err != nil {
+				if errors.Is(err, ddsketch.ErrCannotCollapse) {
+					break
+				}
+				t.Fatal(err)
+			}
+		}
+		local := a.Copy()
+		if err := local.MergeWith(b); err != nil {
+			t.Fatalf("local merge: %v", err)
+		}
+		wire := a.Copy()
+		if err := wire.DecodeAndMergeWith(b.Encode()); err != nil {
+			t.Fatalf("wire merge: %v", err)
+		}
+		assertBinIdentical(t, wire, local)
+		if wire.CollapseEpoch() != local.CollapseEpoch() {
+			t.Fatalf("wire merge epoch %d != local %d", wire.CollapseEpoch(), local.CollapseEpoch())
+		}
+	})
+}

@@ -194,4 +194,32 @@ func TestCompareBenchGates(t *testing.T) {
 			t.Errorf("regressions = %v, want empty-intersection error", got)
 		}
 	})
+
+	t.Run("cubic batch speedup floor", func(t *testing.T) {
+		// The cross-cell gate compares pareto/cubic to pareto/log within
+		// the current report: under 1.5× at full sweep size is a
+		// regression; at smoke-test N the ratio is noise and the gate
+		// stays quiet.
+		withCubic := func(n int, cubicBatch float64) BenchReport {
+			current := benchFixture()
+			current.N = n
+			current.Entries = append(current.Entries, BenchEntry{
+				Dataset: "pareto", Mapping: "cubic", N: 1000,
+				AddNsPerOp: 15, BatchAddNsPerOp: cubicBatch, MergeNsPerOp: 900,
+				Bins: 102, SketchBytes: 2000,
+				RelErrP50: 0.005, RelErrP95: 0.006, RelErrP99: 0.007})
+			return current
+		}
+		// log batch is 20 ns/op in the fixture: 15 ns/op is only 1.33×.
+		got := CompareBench(baseline, withCubic(200_000, 15), 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "1.33x") {
+			t.Errorf("regressions = %v, want one cubic-speedup-floor breach", got)
+		}
+		if got := CompareBench(baseline, withCubic(200_000, 10), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none at 2.0x", got)
+		}
+		if got := CompareBench(baseline, withCubic(1000, 15), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want gate suppressed at smoke-test N", got)
+		}
+	})
 }

@@ -17,6 +17,10 @@ import (
 type Config struct {
 	N    int
 	Seed uint64
+	// Mapping selects the index mapping for the experiments that take a
+	// mapping axis (currently "uniform"): one of "log" (default),
+	// "linear", "quadratic", "cubic".
+	Mapping string
 }
 
 // DefaultConfig returns the default experiment scale.
@@ -75,7 +79,11 @@ func Run(id string, cfg Config) ([]Result, error) {
 	case "related":
 		return []Result{Related(cfg)}, nil
 	case "uniform":
-		return []Result{Uniform(cfg)}, nil
+		res, err := Uniform(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{res}, nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, IDs())
 	}

@@ -96,7 +96,15 @@ func Ablation(cfg Config) Result {
 // under a tight budget, lowest-first error at the collapsed tail is
 // orders of magnitude above α while uniform stays within the epoch's
 // α' = 2α/(1+α²)-per-collapse bound at every quantile.
-func Uniform(cfg Config) Result {
+func Uniform(cfg Config) (Result, error) {
+	newMapping, err := mappingConstructor(cfg.Mapping)
+	if err != nil {
+		return Result{}, err
+	}
+	mappingName := cfg.Mapping
+	if mappingName == "" {
+		mappingName = "log"
+	}
 	n := cfg.N
 	if n > 2_000_000 {
 		n = 2_000_000
@@ -109,8 +117,9 @@ func Uniform(cfg Config) Result {
 		{"lognormal", datagen.LogNormalSeeded(n, 0, 3, cfg.Seed+1)},
 	}
 	r := Result{
-		ID:    "uniform",
-		Title: fmt.Sprintf("Uniform collapse (UDDSketch) vs collapsing-lowest (N=%d, alpha=%g)", n, DDSketchAlpha),
+		ID: "uniform",
+		Title: fmt.Sprintf("Uniform collapse (UDDSketch) vs collapsing-lowest (N=%d, alpha=%g, mapping=%s)",
+			n, DDSketchAlpha, mappingName),
 		Columns: []string{"dataset", "max bins", "q",
 			"lowest rel err", "uniform rel err", "uniform alpha'", "epochs"},
 		Notes: []string{
@@ -122,11 +131,23 @@ func Uniform(cfg Config) Result {
 		sorted := append([]float64(nil), d.values...)
 		sort.Float64s(sorted)
 		for _, maxBins := range []int{128, 512} {
-			lowest, err1 := ddsketch.NewCollapsing(DDSketchAlpha, maxBins)
-			uniform, err2 := ddsketch.NewUniformCollapsing(DDSketchAlpha, maxBins)
+			lowestMapping, err := newMapping(DDSketchAlpha)
+			if err != nil {
+				return Result{}, err
+			}
+			uniformMapping, err := newMapping(DDSketchAlpha)
+			if err != nil {
+				return Result{}, err
+			}
+			lowestSketch, err1 := ddsketch.NewSketch(
+				ddsketch.WithMapping(lowestMapping), ddsketch.WithMaxBins(maxBins))
+			uniformSketch, err2 := ddsketch.NewSketch(
+				ddsketch.WithMapping(uniformMapping), ddsketch.WithUniformCollapse(maxBins))
 			if err1 != nil || err2 != nil {
 				continue
 			}
+			lowest := lowestSketch.(*ddsketch.DDSketch)
+			uniform := uniformSketch.(*ddsketch.DDSketch)
 			for _, v := range d.values {
 				_ = lowest.Add(v)
 				_ = uniform.Add(v)
@@ -146,7 +167,25 @@ func Uniform(cfg Config) Result {
 			}
 		}
 	}
-	return r
+	return r, nil
+}
+
+// mappingConstructor resolves a Config.Mapping selector name to an
+// index-mapping constructor. The empty name selects the logarithmic
+// default.
+func mappingConstructor(name string) (func(float64) (mapping.IndexMapping, error), error) {
+	switch name {
+	case "", "log":
+		return func(a float64) (mapping.IndexMapping, error) { return mapping.NewLogarithmic(a) }, nil
+	case "linear":
+		return func(a float64) (mapping.IndexMapping, error) { return mapping.NewLinearlyInterpolated(a) }, nil
+	case "quadratic":
+		return func(a float64) (mapping.IndexMapping, error) { return mapping.NewQuadraticallyInterpolated(a) }, nil
+	case "cubic":
+		return func(a float64) (mapping.IndexMapping, error) { return mapping.NewCubicallyInterpolated(a) }, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown mapping %q (known: log, linear, quadratic, cubic)", name)
+	}
 }
 
 // Related compares DDSketch with the two related-work sketches of §1.2

@@ -34,7 +34,7 @@ type LinearlyInterpolatedMapping struct {
 	base
 }
 
-var _ IndexMapping = (*LinearlyInterpolatedMapping)(nil)
+var _ Coarsenable = (*LinearlyInterpolatedMapping)(nil)
 
 // NewLinearlyInterpolated returns a linearly interpolated mapping with
 // the given relative accuracy α ∈ (0, 1).
@@ -73,15 +73,40 @@ func (m *LinearlyInterpolatedMapping) Equals(other IndexMapping) bool {
 	return ok && approxEqual(m.gamma, o.gamma)
 }
 
-// Encode appends the mapping's binary serialization.
+// Coarsen returns the pairwise-coarser mapping: γ' = γ², relative
+// accuracy α' = 2α/(1+α²), multiplier halved exactly so that Index
+// commutes bit-exactly with the pairwise store fold (see Coarsenable).
+func (m *LinearlyInterpolatedMapping) Coarsen() (IndexMapping, error) {
+	b, err := m.base.coarsened()
+	if err != nil {
+		return nil, err
+	}
+	return &LinearlyInterpolatedMapping{base: b}, nil
+}
+
+// BaseMapping returns the epoch-0 mapping this mapping was coarsened
+// from (itself at epoch 0).
+func (m *LinearlyInterpolatedMapping) BaseMapping() IndexMapping {
+	if m.collapseEpoch == 0 {
+		return m
+	}
+	b, err := NewLinearlyInterpolated(m.baseAccuracy)
+	if err != nil {
+		return m // unreachable: the base accuracy constructed once already
+	}
+	return b
+}
+
+// Encode appends the mapping's binary serialization, including the
+// collapse lineage when the mapping has been coarsened.
 func (m *LinearlyInterpolatedMapping) Encode(w *encoding.Writer) {
-	w.Byte(typeLinearlyInterpolated)
-	w.Varfloat64(m.relativeAccuracy)
+	m.base.encode(w, typeLinearlyInterpolated)
 }
 
 // String implements fmt.Stringer.
 func (m *LinearlyInterpolatedMapping) String() string {
-	return fmt.Sprintf("LinearlyInterpolatedMapping(alpha=%g, gamma=%g)", m.relativeAccuracy, m.gamma)
+	return fmt.Sprintf("LinearlyInterpolatedMapping(alpha=%g, gamma=%g%s)",
+		m.relativeAccuracy, m.gamma, m.lineageSuffix())
 }
 
 // QuadraticallyInterpolatedMapping approximates log2 between powers of
@@ -91,7 +116,7 @@ type QuadraticallyInterpolatedMapping struct {
 	base
 }
 
-var _ IndexMapping = (*QuadraticallyInterpolatedMapping)(nil)
+var _ Coarsenable = (*QuadraticallyInterpolatedMapping)(nil)
 
 // NewQuadraticallyInterpolated returns a quadratically interpolated
 // mapping with the given relative accuracy α ∈ (0, 1).
@@ -134,15 +159,40 @@ func (m *QuadraticallyInterpolatedMapping) Equals(other IndexMapping) bool {
 	return ok && approxEqual(m.gamma, o.gamma)
 }
 
-// Encode appends the mapping's binary serialization.
+// Coarsen returns the pairwise-coarser mapping: γ' = γ², relative
+// accuracy α' = 2α/(1+α²), multiplier halved exactly so that Index
+// commutes bit-exactly with the pairwise store fold (see Coarsenable).
+func (m *QuadraticallyInterpolatedMapping) Coarsen() (IndexMapping, error) {
+	b, err := m.base.coarsened()
+	if err != nil {
+		return nil, err
+	}
+	return &QuadraticallyInterpolatedMapping{base: b}, nil
+}
+
+// BaseMapping returns the epoch-0 mapping this mapping was coarsened
+// from (itself at epoch 0).
+func (m *QuadraticallyInterpolatedMapping) BaseMapping() IndexMapping {
+	if m.collapseEpoch == 0 {
+		return m
+	}
+	b, err := NewQuadraticallyInterpolated(m.baseAccuracy)
+	if err != nil {
+		return m // unreachable: the base accuracy constructed once already
+	}
+	return b
+}
+
+// Encode appends the mapping's binary serialization, including the
+// collapse lineage when the mapping has been coarsened.
 func (m *QuadraticallyInterpolatedMapping) Encode(w *encoding.Writer) {
-	w.Byte(typeQuadraticallyInterpolated)
-	w.Varfloat64(m.relativeAccuracy)
+	m.base.encode(w, typeQuadraticallyInterpolated)
 }
 
 // String implements fmt.Stringer.
 func (m *QuadraticallyInterpolatedMapping) String() string {
-	return fmt.Sprintf("QuadraticallyInterpolatedMapping(alpha=%g, gamma=%g)", m.relativeAccuracy, m.gamma)
+	return fmt.Sprintf("QuadraticallyInterpolatedMapping(alpha=%g, gamma=%g%s)",
+		m.relativeAccuracy, m.gamma, m.lineageSuffix())
 }
 
 // Coefficients of the cubic interpolation polynomial
@@ -164,7 +214,7 @@ type CubicallyInterpolatedMapping struct {
 	base
 }
 
-var _ IndexMapping = (*CubicallyInterpolatedMapping)(nil)
+var _ Coarsenable = (*CubicallyInterpolatedMapping)(nil)
 
 // NewCubicallyInterpolated returns a cubically interpolated mapping with
 // the given relative accuracy α ∈ (0, 1).
@@ -212,13 +262,38 @@ func (m *CubicallyInterpolatedMapping) Equals(other IndexMapping) bool {
 	return ok && approxEqual(m.gamma, o.gamma)
 }
 
-// Encode appends the mapping's binary serialization.
+// Coarsen returns the pairwise-coarser mapping: γ' = γ², relative
+// accuracy α' = 2α/(1+α²), multiplier halved exactly so that Index
+// commutes bit-exactly with the pairwise store fold (see Coarsenable).
+func (m *CubicallyInterpolatedMapping) Coarsen() (IndexMapping, error) {
+	b, err := m.base.coarsened()
+	if err != nil {
+		return nil, err
+	}
+	return &CubicallyInterpolatedMapping{base: b}, nil
+}
+
+// BaseMapping returns the epoch-0 mapping this mapping was coarsened
+// from (itself at epoch 0).
+func (m *CubicallyInterpolatedMapping) BaseMapping() IndexMapping {
+	if m.collapseEpoch == 0 {
+		return m
+	}
+	b, err := NewCubicallyInterpolated(m.baseAccuracy)
+	if err != nil {
+		return m // unreachable: the base accuracy constructed once already
+	}
+	return b
+}
+
+// Encode appends the mapping's binary serialization, including the
+// collapse lineage when the mapping has been coarsened.
 func (m *CubicallyInterpolatedMapping) Encode(w *encoding.Writer) {
-	w.Byte(typeCubicallyInterpolated)
-	w.Varfloat64(m.relativeAccuracy)
+	m.base.encode(w, typeCubicallyInterpolated)
 }
 
 // String implements fmt.Stringer.
 func (m *CubicallyInterpolatedMapping) String() string {
-	return fmt.Sprintf("CubicallyInterpolatedMapping(alpha=%g, gamma=%g)", m.relativeAccuracy, m.gamma)
+	return fmt.Sprintf("CubicallyInterpolatedMapping(alpha=%g, gamma=%g%s)",
+		m.relativeAccuracy, m.gamma, m.lineageSuffix())
 }

@@ -16,7 +16,7 @@ type LogarithmicMapping struct {
 	base
 }
 
-var _ IndexMapping = (*LogarithmicMapping)(nil)
+var _ Coarsenable = (*LogarithmicMapping)(nil)
 
 // expSafeMaxArg bounds the arguments this mapping ever passes to
 // math.Exp. The theoretical overflow threshold is ln(MaxFloat64) ≈
@@ -63,9 +63,11 @@ func (m *LogarithmicMapping) Equals(other IndexMapping) bool {
 
 // Coarsen returns the logarithmic mapping whose buckets are the pairwise
 // unions of this mapping's buckets: γ' = γ², equivalently relative
-// accuracy α' = 2α/(1+α²). It is the mapping half of UDDSketch's uniform
-// collapse (Epicoco et al., 2020): folding every bucket pair (2j−1, 2j)
-// of this mapping into bucket j of the coarsened one degrades accuracy
+// accuracy α' = 2α/(1+α²), with the multiplier halved exactly so that
+// Index commutes bit-exactly with the pairwise store fold (see
+// Coarsenable). It is the mapping half of UDDSketch's uniform collapse
+// (Epicoco et al., 2020): folding every bucket pair (2j−1, 2j) of this
+// mapping into bucket j of the coarsened one degrades accuracy
 // gracefully over the whole range instead of sacrificing one tail.
 //
 // Coarsening is deterministic: mappings coarsened the same number of
@@ -75,18 +77,38 @@ func (m *LogarithmicMapping) Equals(other IndexMapping) bool {
 //
 // It fails only when α' can no longer be represented below 1, which
 // is unreachable from any α a real collapse sequence produces.
-func (m *LogarithmicMapping) Coarsen() (*LogarithmicMapping, error) {
-	a := m.relativeAccuracy
-	return NewLogarithmic(2 * a / (1 + a*a))
+func (m *LogarithmicMapping) Coarsen() (IndexMapping, error) {
+	b, err := m.base.coarsened()
+	if err != nil {
+		return nil, err
+	}
+	// Re-apply the constructor's cap on math.Exp arguments in LowerBound.
+	b.maxIndexable = math.Min(b.maxIndexable, math.Exp(expSafeMaxArg))
+	return &LogarithmicMapping{base: b}, nil
 }
 
-// Encode appends the mapping's binary serialization.
+// BaseMapping returns the epoch-0 mapping this mapping was coarsened
+// from (itself at epoch 0).
+func (m *LogarithmicMapping) BaseMapping() IndexMapping {
+	if m.collapseEpoch == 0 {
+		return m
+	}
+	b, err := NewLogarithmic(m.baseAccuracy)
+	if err != nil {
+		return m // unreachable: the base accuracy constructed once already
+	}
+	return b
+}
+
+// Encode appends the mapping's binary serialization, including the
+// collapse lineage when the mapping has been coarsened.
 func (m *LogarithmicMapping) Encode(w *encoding.Writer) {
-	w.Byte(typeLogarithmic)
-	w.Varfloat64(m.relativeAccuracy)
+	m.base.encode(w, typeLogarithmic)
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Coarsened mappings report their
+// collapse epoch and base accuracy alongside the effective α'.
 func (m *LogarithmicMapping) String() string {
-	return fmt.Sprintf("LogarithmicMapping(alpha=%g, gamma=%g)", m.relativeAccuracy, m.gamma)
+	return fmt.Sprintf("LogarithmicMapping(alpha=%g, gamma=%g%s)",
+		m.relativeAccuracy, m.gamma, m.lineageSuffix())
 }

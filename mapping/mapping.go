@@ -29,6 +29,13 @@ var (
 	ErrInvalidRelativeAccuracy = errors.New("mapping: relative accuracy must be between 0 and 1 (exclusive)")
 	// ErrUnknownMapping is returned when decoding an unrecognized mapping type.
 	ErrUnknownMapping = errors.New("mapping: unknown mapping type")
+	// ErrCannotCoarsen is returned by Coarsen when the coarsened relative
+	// accuracy α' = 2α/(1+α²) can no longer be represented below 1 —
+	// unreachable from any α a real collapse sequence produces.
+	ErrCannotCoarsen = errors.New("mapping: cannot coarsen: coarsened relative accuracy would reach 1")
+	// ErrInvalidCollapseEpoch is returned when decoding a coarsened
+	// mapping whose collapse epoch is zero or implausibly large.
+	ErrInvalidCollapseEpoch = errors.New("mapping: invalid collapse epoch")
 )
 
 // IndexMapping maps positive float64 values to bucket indexes and back,
@@ -73,13 +80,63 @@ type IndexMapping interface {
 	fmt.Stringer
 }
 
-// Mapping type tags used in the binary encoding.
+// Coarsenable is the capability interface for mappings that support the
+// uniform collapse of UDDSketch (Epicoco et al., 2020): replacing the
+// mapping with one whose buckets are the pairwise unions of the current
+// ones, γ → γ², while the store folds every bucket pair (2j−1, 2j) into
+// bucket j.
+//
+// The capability is not specific to the logarithmic mapping. Every
+// mapping in this package has the form Index(x) = ⌈A(x)·multiplier⌉ for
+// a monotone approximation A of a logarithm, so coarsening is just
+// halving the multiplier — exact in binary floating point — and
+// ⌈⌈a⌉/2⌉ ≡ ⌈a/2⌉ for any real a, so the contract
+//
+//	coarse.Index(x) == ceilDiv(fine.Index(x), 2)
+//
+// holds bit-exactly for every indexable x, for all four mappings. That
+// identity is what makes the store fold commute with insertion and lets
+// sketches collapsed a different number of times still merge exactly.
+type Coarsenable interface {
+	IndexMapping
+
+	// Coarsen returns the mapping whose buckets are the pairwise unions
+	// of this mapping's buckets: γ' = γ², equivalently relative accuracy
+	// α' = 2α/(1+α²), and CollapseEpoch incremented. Coarsening is
+	// deterministic: mappings coarsened the same number of times from
+	// equal mappings are bit-identical. It fails with ErrCannotCoarsen
+	// only when α' can no longer be represented below 1.
+	Coarsen() (IndexMapping, error)
+
+	// CollapseEpoch returns how many times this mapping has been
+	// coarsened from its base (epoch-0) mapping.
+	CollapseEpoch() int
+
+	// BaseMapping returns the epoch-0 mapping this mapping was coarsened
+	// from (itself, when CollapseEpoch is 0).
+	BaseMapping() IndexMapping
+}
+
+// Mapping type tags used in the binary encoding. A coarsened mapping
+// (CollapseEpoch > 0) sets coarsenedFlag on its tag and carries the
+// *base* relative accuracy followed by the collapse epoch as a uvarint;
+// the decoder re-derives the mapping by coarsening epoch times — the
+// same float path a live collapse takes — so a round-tripped coarsened
+// mapping is bit-identical to the original. Epoch-0 mappings keep the
+// historical one-byte tags and stay wire-compatible with old payloads.
 const (
 	typeLogarithmic               byte = 1
 	typeLinearlyInterpolated      byte = 2
 	typeQuadraticallyInterpolated byte = 3
 	typeCubicallyInterpolated     byte = 4
+
+	coarsenedFlag byte = 0x80
 )
+
+// maxDecodedCollapseEpoch bounds the coarsening loop a hostile payload
+// can request. Real epochs stay tiny: α' converges quadratically to 1,
+// so Coarsen refuses long before this cap for any constructible α.
+const maxDecodedCollapseEpoch = 255
 
 // Decode reads a mapping previously written by IndexMapping.Encode.
 func Decode(r *encoding.Reader) (IndexMapping, error) {
@@ -87,22 +144,47 @@ func Decode(r *encoding.Reader) (IndexMapping, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mapping: decoding type tag: %w", err)
 	}
+	coarsened := tag&coarsenedFlag != 0
+	tag &^= coarsenedFlag
 	alpha, err := r.Varfloat64()
 	if err != nil {
 		return nil, fmt.Errorf("mapping: decoding relative accuracy: %w", err)
 	}
+	var m IndexMapping
 	switch tag {
 	case typeLogarithmic:
-		return NewLogarithmic(alpha)
+		m, err = NewLogarithmic(alpha)
 	case typeLinearlyInterpolated:
-		return NewLinearlyInterpolated(alpha)
+		m, err = NewLinearlyInterpolated(alpha)
 	case typeQuadraticallyInterpolated:
-		return NewQuadraticallyInterpolated(alpha)
+		m, err = NewQuadraticallyInterpolated(alpha)
 	case typeCubicallyInterpolated:
-		return NewCubicallyInterpolated(alpha)
+		m, err = NewCubicallyInterpolated(alpha)
 	default:
 		return nil, fmt.Errorf("mapping: type tag %d: %w", tag, ErrUnknownMapping)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if !coarsened {
+		return m, nil
+	}
+	epoch, err := r.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("mapping: decoding collapse epoch: %w", err)
+	}
+	if epoch == 0 || epoch > maxDecodedCollapseEpoch {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidCollapseEpoch, epoch)
+	}
+	c := m.(Coarsenable) // every mapping in this package is coarsenable
+	for i := uint64(0); i < epoch; i++ {
+		next, err := c.Coarsen()
+		if err != nil {
+			return nil, fmt.Errorf("mapping: coarsening to epoch %d: %w", epoch, err)
+		}
+		c = next.(Coarsenable)
+	}
+	return c, nil
 }
 
 // minNormalFloat64 is the smallest positive normal float64. Values below
@@ -125,6 +207,14 @@ type base struct {
 	multiplier       float64
 	minIndexable     float64
 	maxIndexable     float64
+
+	// Collapse lineage: how many times the mapping has been coarsened
+	// (0 for a freshly constructed mapping) and the epoch-0 relative
+	// accuracy it descends from. Serialization and String report the
+	// lineage so a coarsened mapping is distinguishable from — and
+	// reconstructible as distinct from — a freshly constructed one.
+	collapseEpoch int
+	baseAccuracy  float64
 }
 
 func newBase(relativeAccuracy, slope float64) (base, error) {
@@ -143,11 +233,63 @@ func newBase(relativeAccuracy, slope float64) (base, error) {
 		multiplier:   slope / logGamma,
 		minIndexable: minNormalFloat64 * gamma,
 		maxIndexable: math.MaxFloat64 / gamma,
+		baseAccuracy: relativeAccuracy,
 	}, nil
 }
 
 func (b *base) RelativeAccuracy() float64 { return b.relativeAccuracy }
 func (b *base) Gamma() float64            { return b.gamma }
+
+// CollapseEpoch returns how many times the mapping has been coarsened.
+func (b *base) CollapseEpoch() int { return b.collapseEpoch }
+
+// coarsened returns the base of the pairwise-coarser mapping.
+//
+// The multiplier is halved rather than rebuilt from α': halving is
+// exact in binary floating point, and since both mappings compute the
+// identical approximation a = A(x) before scaling, the scaled values
+// relate by fl(a·(multiplier/2)) = fl(a·multiplier)/2 (rounding to
+// nearest is invariant under exact power-of-two scaling). With
+// ⌈⌈y⌉/2⌉ ≡ ⌈y/2⌉ this makes coarse.Index(x) == ⌈fine.Index(x)/2⌉
+// bit-exact — the contract the store fold relies on. γ squares and
+// α' = 2α/(1+α²) (the same float expression the sketch layer's epoch
+// accounting evaluates, so the two stay bit-identical).
+func (b base) coarsened() (base, error) {
+	a := b.relativeAccuracy
+	alphaPrime := 2 * a / (1 + a*a)
+	if !(alphaPrime < 1) {
+		return base{}, fmt.Errorf("%w (α=%v)", ErrCannotCoarsen, a)
+	}
+	b.relativeAccuracy = alphaPrime
+	b.gamma *= b.gamma
+	b.multiplier /= 2
+	b.minIndexable = minNormalFloat64 * b.gamma
+	b.maxIndexable = math.MaxFloat64 / b.gamma
+	b.collapseEpoch++
+	return b, nil
+}
+
+// encode writes the mapping's binary serialization under the given type
+// tag, appending the collapse lineage when the mapping is coarsened.
+func (b *base) encode(w *encoding.Writer, tag byte) {
+	if b.collapseEpoch == 0 {
+		w.Byte(tag)
+		w.Varfloat64(b.relativeAccuracy)
+		return
+	}
+	w.Byte(tag | coarsenedFlag)
+	w.Varfloat64(b.baseAccuracy)
+	w.Uvarint(uint64(b.collapseEpoch))
+}
+
+// lineageSuffix is the String() tail reporting the collapse lineage of
+// a coarsened mapping; empty at epoch 0.
+func (b *base) lineageSuffix() string {
+	if b.collapseEpoch == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", collapseEpoch=%d, baseAlpha=%g", b.collapseEpoch, b.baseAccuracy)
+}
 
 // MinIndexableValue returns the smallest indexable positive value.
 func (b *base) MinIndexableValue() float64 { return b.minIndexable }

@@ -1,8 +1,11 @@
 package mapping
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -338,6 +341,237 @@ func TestInterpolationInverses(t *testing.T) {
 			if got := m.Index(mid); got != i {
 				t.Errorf("%s: Index(mid of bucket %d) = %d", c.name, i, got)
 			}
+		}
+	}
+}
+
+// coarsen asserts that m is Coarsenable and coarsens it once.
+func coarsen(t *testing.T, name string, m IndexMapping) IndexMapping {
+	t.Helper()
+	c, ok := m.(Coarsenable)
+	if !ok {
+		t.Fatalf("%s: %T does not implement Coarsenable", name, m)
+	}
+	next, err := c.Coarsen()
+	if err != nil {
+		t.Fatalf("%s: Coarsen: %v", name, err)
+	}
+	return next
+}
+
+// ceilDiv2 is ⌈i/2⌉ for any sign, the per-bucket fold of a uniform
+// collapse (store.FoldPairwise computes it as (i+1)>>1).
+func ceilDiv2(i int) int {
+	if i > 0 {
+		return (i + 1) / 2
+	}
+	return i / 2
+}
+
+// TestCoarsenIndexFoldIdentity is the Coarsenable contract: after each
+// coarsening, coarse.Index(x) == ⌈fine.Index(x)/2⌉ for every indexable
+// x — bit-exactly, because Coarsen halves the multiplier (exact in
+// binary floating point) rather than rebuilding the mapping from α'.
+func TestCoarsenIndexFoldIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.001, 0.01, 0.05} {
+			fine := mustMapping(t, c, alpha)
+			for epoch := 1; epoch <= 6; epoch++ {
+				coarse := coarsen(t, c.name, fine)
+				lo, hi := coarse.MinIndexableValue(), coarse.MaxIndexableValue()
+				probe := func(v float64) {
+					if v < lo || v > hi {
+						return
+					}
+					if got, want := coarse.Index(v), ceilDiv2(fine.Index(v)); got != want {
+						t.Fatalf("%s(α=%g) epoch %d: Index(%g) = %d, want ⌈%d/2⌉ = %d",
+							c.name, alpha, epoch, v, got, fine.Index(v), want)
+					}
+				}
+				probe(lo)
+				probe(hi)
+				probe(1)
+				for i := 0; i < 2000; i++ {
+					// Log-uniform over the whole indexable range, plus a
+					// band near 1 where indexes change sign.
+					probe(math.Exp(rng.Float64()*(math.Log(hi)-math.Log(lo)) + math.Log(lo)))
+					probe(math.Exp(rng.NormFloat64()))
+				}
+				fine = coarse
+			}
+		}
+	}
+}
+
+// TestCoarsenLineageAccessors: CollapseEpoch counts coarsenings and
+// BaseMapping recovers the epoch-0 mapping; the coarsened accuracy
+// follows α' = 2α/(1+α²) bit-exactly, and γ squares.
+func TestCoarsenLineageAccessors(t *testing.T) {
+	for _, c := range constructors {
+		const alpha = 0.01
+		base := mustMapping(t, c, alpha)
+		m := base
+		wantAlpha := alpha
+		for epoch := 1; epoch <= 4; epoch++ {
+			prevGamma := m.Gamma()
+			m = coarsen(t, c.name, m)
+			a := wantAlpha
+			wantAlpha = 2 * a / (1 + a*a)
+			if got := m.RelativeAccuracy(); got != wantAlpha {
+				t.Fatalf("%s epoch %d: RelativeAccuracy = %v, want %v", c.name, epoch, got, wantAlpha)
+			}
+			if got, want := m.Gamma(), prevGamma*prevGamma; got != want {
+				t.Fatalf("%s epoch %d: Gamma = %v, want %v", c.name, epoch, got, want)
+			}
+			cc := m.(Coarsenable)
+			if got := cc.CollapseEpoch(); got != epoch {
+				t.Fatalf("%s: CollapseEpoch = %d, want %d", c.name, got, epoch)
+			}
+			recovered := cc.BaseMapping()
+			if !recovered.Equals(base) || recovered.RelativeAccuracy() != alpha {
+				t.Fatalf("%s epoch %d: BaseMapping() = %v, want the epoch-0 %v", c.name, epoch, recovered, base)
+			}
+			if bc, ok := recovered.(Coarsenable); !ok || bc.CollapseEpoch() != 0 {
+				t.Fatalf("%s epoch %d: BaseMapping() is not at epoch 0", c.name, epoch)
+			}
+		}
+		// The base mapping of an uncoarsened mapping is itself.
+		if got := base.(Coarsenable).BaseMapping(); got != base {
+			t.Errorf("%s: BaseMapping() of an epoch-0 mapping = %v, want the mapping itself", c.name, got)
+		}
+	}
+}
+
+// TestCoarsenStopsBeforeAlphaOne: coarsening fails with ErrCannotCoarsen
+// once the degraded accuracy would reach 1, instead of producing a
+// mapping with no guarantee.
+func TestCoarsenStopsBeforeAlphaOne(t *testing.T) {
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.5)
+		var err error
+		for epoch := 0; epoch < 64; epoch++ {
+			var next IndexMapping
+			next, err = m.(Coarsenable).Coarsen()
+			if err != nil {
+				break
+			}
+			if a := next.RelativeAccuracy(); !(a < 1) {
+				t.Fatalf("%s: Coarsen produced α = %v ≥ 1 without failing", c.name, a)
+			}
+			m = next
+		}
+		if !errors.Is(err, ErrCannotCoarsen) {
+			t.Errorf("%s: after 64 coarsenings err = %v, want ErrCannotCoarsen", c.name, err)
+		}
+	}
+}
+
+// TestCoarsenedAccuracy: a coarsened mapping honors its own degraded α'
+// guarantee.
+func TestCoarsenedAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range constructors {
+		m := mustMapping(t, c, 0.01)
+		for epoch := 1; epoch <= 4; epoch++ {
+			m = coarsen(t, c.name, m)
+			for i := 0; i < 500; i++ {
+				checkAccurate(t, fmt.Sprintf("%s epoch %d", c.name, epoch), m,
+					math.Exp(rng.Float64()*400-200))
+			}
+		}
+	}
+}
+
+// TestCoarsenedStringReportsLineage: String() on a coarsened mapping
+// names the collapse epoch, the effective α′, and the base α.
+func TestCoarsenedStringReportsLineage(t *testing.T) {
+	for _, c := range constructors {
+		m := coarsen(t, c.name, coarsen(t, c.name, mustMapping(t, c, 0.01)))
+		s := m.String()
+		for _, want := range []string{
+			"collapseEpoch=2",
+			"baseAlpha=0.01",
+			fmt.Sprintf("alpha=%g", m.RelativeAccuracy()),
+		} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s: String() = %q, want it to contain %q", c.name, s, want)
+			}
+		}
+		if s0 := mustMapping(t, c, 0.01).String(); strings.Contains(s0, "collapseEpoch") {
+			t.Errorf("%s: epoch-0 String() = %q mentions a collapse lineage", c.name, s0)
+		}
+	}
+}
+
+// TestCoarsenedEncodeDecodeRoundTrip: a coarsened mapping round-trips
+// the wire bit-identically — the decoder re-derives it by coarsening the
+// base epoch times, so Equals holds exactly and the lineage survives.
+func TestCoarsenedEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range constructors {
+		for _, alpha := range []float64{0.01, 0.007} {
+			m := mustMapping(t, c, alpha)
+			for epoch := 1; epoch <= 3; epoch++ {
+				m = coarsen(t, c.name, m)
+				w := encoding.NewWriter(16)
+				m.Encode(w)
+				got, err := Decode(encoding.NewReader(w.Bytes()))
+				if err != nil {
+					t.Fatalf("%s(α=%g) epoch %d: Decode: %v", c.name, alpha, epoch, err)
+				}
+				if !got.Equals(m) {
+					t.Fatalf("%s(α=%g) epoch %d: decoded %v does not equal original %v",
+						c.name, alpha, epoch, got, m)
+				}
+				gc, ok := got.(Coarsenable)
+				if !ok || gc.CollapseEpoch() != epoch {
+					t.Fatalf("%s(α=%g): decoded mapping lost its lineage (epoch %d)", c.name, alpha, epoch)
+				}
+				if got.Gamma() != m.Gamma() || got.RelativeAccuracy() != m.RelativeAccuracy() {
+					t.Fatalf("%s(α=%g) epoch %d: decoded parameters differ: %v vs %v",
+						c.name, alpha, epoch, got, m)
+				}
+				for i := 0; i < 200; i++ {
+					v := math.Exp(rng.Float64()*200 - 100)
+					if got.Index(v) != m.Index(v) {
+						t.Fatalf("%s(α=%g) epoch %d: decoded Index(%g) = %d, want %d",
+							c.name, alpha, epoch, v, got.Index(v), m.Index(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeCoarsenedErrors: hostile coarsened payloads are rejected —
+// a coarsened tag with epoch 0, an epoch beyond the decode cap, and a
+// lineage whose α' would reach 1.
+func TestDecodeCoarsenedErrors(t *testing.T) {
+	encode := func(tag byte, alpha float64, epoch uint64) []byte {
+		w := encoding.NewWriter(16)
+		w.Byte(tag | coarsenedFlag)
+		w.Varfloat64(alpha)
+		w.Uvarint(epoch)
+		return w.Bytes()
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"epoch zero", encode(typeLogarithmic, 0.01, 0), ErrInvalidCollapseEpoch},
+		{"epoch beyond cap", encode(typeCubicallyInterpolated, 0.01, 10_000), ErrInvalidCollapseEpoch},
+		{"alpha reaches one", encode(typeLinearlyInterpolated, 0.5, 60), ErrCannotCoarsen},
+		{"truncated epoch", append([]byte{typeLogarithmic | coarsenedFlag}, encoding.NewWriter(8).Bytes()...), nil},
+	} {
+		_, err := Decode(encoding.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: Decode succeeded, want error", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
 		}
 	}
 }

@@ -137,9 +137,11 @@ func Decode(data []byte) (*DDSketch, error) {
 	baseMapping := m
 	if uniformMaxBins > 0 || epoch > 0 {
 		// Uniform-collapse state requires a coarsenable mapping, exactly
-		// as WithUniformCollapse enforces at construction.
-		if _, ok := m.(*mapping.LogarithmicMapping); !ok {
-			return nil, fmt.Errorf("%w: uniform-collapse state on a non-logarithmic mapping %v",
+		// as WithUniformCollapse enforces at construction. Any of the
+		// mapping package's four mappings qualifies, so v2 payloads carry
+		// interpolated lineages as readily as logarithmic ones.
+		if _, ok := m.(mapping.Coarsenable); !ok {
+			return nil, fmt.Errorf("%w: uniform-collapse state on a non-coarsenable mapping %v",
 				ErrInvalidEncoding, m)
 		}
 	}
@@ -147,14 +149,20 @@ func Decode(data []byte) (*DDSketch, error) {
 		// Re-derive the current mapping by coarsening the base epoch
 		// times — the exact float path a live collapse takes, so decoded
 		// sketches merge bit-identically with their originals.
-		log := m.(*mapping.LogarithmicMapping)
+		c := m.(mapping.Coarsenable)
 		for i := 0; i < epoch; i++ {
-			log, err = log.Coarsen()
-			if err != nil {
-				return nil, fmt.Errorf("%w: coarsening mapping to epoch %d: %v", ErrInvalidEncoding, epoch, err)
+			next, cerr := c.Coarsen()
+			if cerr != nil {
+				return nil, fmt.Errorf("%w: coarsening mapping to epoch %d: %v", ErrInvalidEncoding, epoch, cerr)
+			}
+			var ok bool
+			c, ok = next.(mapping.Coarsenable)
+			if !ok {
+				return nil, fmt.Errorf("%w: mapping %v lost coarsenability at epoch %d",
+					ErrInvalidEncoding, next, i+1)
 			}
 		}
-		m = log
+		m = c
 	}
 	if uniformMaxBins == 0 && epoch == 0 {
 		baseMapping = nil

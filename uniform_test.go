@@ -291,32 +291,79 @@ func TestUniformMergeRejectsForeignLineage(t *testing.T) {
 	}
 }
 
-// TestCollapseUniformlyRequiresLogarithmicMapping: the explicit
-// collapse and the construction option both reject mappings that
-// cannot be coarsened by squaring γ.
-func TestCollapseUniformlyRequiresLogarithmicMapping(t *testing.T) {
-	fast, err := ddsketch.NewFast(0.01, 1024)
+// plainMapping strips the Coarsenable capability from a mapping: the
+// embedded interface forwards IndexMapping's methods, but the wrapper
+// type itself has no Coarsen, so capability checks fail on it.
+type plainMapping struct{ mapping.IndexMapping }
+
+// TestCollapseUniformlyRequiresCoarsenableMapping: the explicit
+// collapse and the construction option both work through the
+// mapping.Coarsenable capability — every mapping the package ships
+// collapses, and only a custom mapping without the capability is
+// rejected.
+func TestCollapseUniformlyRequiresCoarsenableMapping(t *testing.T) {
+	// All four built-in mappings coarsen: the explicit collapse degrades
+	// α to 2α/(1+α²) whatever the interpolation degree.
+	mappings := map[string]mapping.IndexMapping{}
+	log, err := mapping.NewLogarithmic(0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fast.CollapseUniformly(); !errors.Is(err, ddsketch.ErrCannotCollapse) {
-		t.Errorf("CollapseUniformly on interpolated mapping: err = %v, want ErrCannotCollapse", err)
-	}
-
+	mappings["log"] = log
 	linear, err := mapping.NewLinearlyInterpolated(0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
+	mappings["linear"] = linear
+	quadratic, err := mapping.NewQuadraticallyInterpolated(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappings["quadratic"] = quadratic
+	cubic, err := mapping.NewCubicallyInterpolated(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappings["cubic"] = cubic
+	for name, m := range mappings {
+		s, err := ddsketch.NewSketch(ddsketch.WithMapping(m), ddsketch.WithUniformCollapse(64))
+		if err != nil {
+			t.Fatalf("WithUniformCollapse + %s mapping: %v", name, err)
+		}
+		sk := s.(*ddsketch.DDSketch)
+		if err := sk.Add(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sk.CollapseUniformly(); err != nil {
+			t.Errorf("CollapseUniformly on %s mapping: %v", name, err)
+		}
+		want := 2 * 0.01 / (1 + 0.01*0.01)
+		if got := sk.RelativeAccuracy(); got != want {
+			t.Errorf("%s: α' after collapse = %v, want %v", name, got, want)
+		}
+	}
+
+	// A custom mapping without the Coarsenable capability keeps the
+	// historical rejection on both paths.
+	stub := plainMapping{log}
+	opaque, err := ddsketch.NewSketch(ddsketch.WithMapping(stub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opaque.(*ddsketch.DDSketch).CollapseUniformly(); !errors.Is(err, ddsketch.ErrCannotCollapse) {
+		t.Errorf("CollapseUniformly on non-coarsenable mapping: err = %v, want ErrCannotCollapse", err)
+	}
 	if _, err := ddsketch.NewSketch(
-		ddsketch.WithMapping(linear), ddsketch.WithUniformCollapse(64),
+		ddsketch.WithMapping(stub), ddsketch.WithUniformCollapse(64),
 	); !errors.Is(err, ddsketch.ErrInvalidOption) {
-		t.Errorf("WithUniformCollapse + interpolated mapping: err = %v, want ErrInvalidOption", err)
+		t.Errorf("WithUniformCollapse + non-coarsenable mapping: err = %v, want ErrInvalidOption", err)
 	}
 
 	for _, opts := range [][]ddsketch.Option{
 		{ddsketch.WithUniformCollapse(1)},
 		{ddsketch.WithUniformCollapse(64), ddsketch.WithMaxBins(64)},
 		{ddsketch.WithUniformCollapse(64), ddsketch.WithStores(nil, nil)},
+		{ddsketch.WithFastDefaults(), ddsketch.WithMapping(linear)},
 	} {
 		if _, err := ddsketch.NewSketch(opts...); !errors.Is(err, ddsketch.ErrInvalidOption) {
 			t.Errorf("invalid option combination: err = %v, want ErrInvalidOption", err)
