@@ -10,21 +10,36 @@
 // recent history. Multi-statistic reads (/summary, multi-q /quantile,
 // /stats) merge the shards and ring exactly once per request.
 //
+// Alongside the global aggregate, a keyed plane (registry.SketchMap)
+// retains one sketch per tagged series — admission-gated against
+// one-shot keys and evicted into an overflow sketch under a
+// configurable budget, so adversarial cardinality degrades granularity
+// but never correctness or memory. Keyed ingest reuses POST /values
+// with a key, and GET /summary?filter=... rolls matching series up.
+//
 // Endpoints:
 //
 //	POST /ingest          body: binary sketch (ddsketch.Encode output)
-//	POST /values          body: whitespace-separated raw values
+//	POST /values          body: whitespace-separated raw values;
+//	                      ?key=service=api,endpoint=/login (or a first
+//	                      body line "key=...") routes the batch to the
+//	                      keyed registry instead of the aggregate
 //	GET  /quantile?q=0.5,0.99[&window=k]
 //	GET  /summary[?q=0.5,0.9,0.99][&window=k]
+//	GET  /summary?filter=service=api,endpoint=*   keyed roll-up ("*" = all + overflow)
 //	GET  /stats
+//	GET  /metrics         Prometheus text format
 //	GET  /healthz
 //
 // Example:
 //
 //	ddserver -addr :8080 -alpha 0.01 -window 10s -windows 6
 //	ddserver -mapping cubic -uniform-collapse -max-bins 512
+//	ddserver -registry-sketches 10000 -registry-admission 2
 //	curl -s 'localhost:8080/quantile?q=0.5,0.99'
 //	curl -s 'localhost:8080/summary'
+//	curl -s -d '1.5 2.5 3.5' 'localhost:8080/values?key=service=api'
+//	curl -s 'localhost:8080/summary?filter=service=api'
 package main
 
 import (
@@ -48,6 +63,10 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", cfg.shards, "ingest shard count (0 = auto from GOMAXPROCS)")
 	flag.DurationVar(&cfg.interval, "window", cfg.interval, "duration of one aggregation window")
 	flag.IntVar(&cfg.windows, "windows", cfg.windows, "number of retained windows")
+	flag.IntVar(&cfg.registrySketches, "registry-sketches", cfg.registrySketches,
+		"per-key sketch budget of the keyed registry (LRU-evicts into overflow beyond this)")
+	flag.Float64Var(&cfg.registryAdmission, "registry-admission", cfg.registryAdmission,
+		"estimated weight a key needs before earning its own sketch (<=0 admits immediately)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// metricsContentType is the Prometheus text exposition format version
+// this endpoint emits. The format is plain enough to write by hand,
+// which keeps the server free of a client-library dependency.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric appends one HELP/TYPE/sample triplet in the Prometheus
+// text exposition format. Values render via %g, which matches the
+// format's float grammar (integers stay integral, no exponent noise at
+// counter scale).
+func promMetric(b *strings.Builder, name, kind, help string, value float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+	fmt.Fprintf(b, "%s %g\n", name, value)
+}
+
+// handleMetrics answers GET /metrics with a Prometheus-format scrape of
+// the service: ingest counters for all three planes (encoded sketches,
+// unkeyed raw values, keyed raw values), the aggregate's population and
+// collapse state, and the keyed registry's cardinality/eviction/memory
+// gauges. Everything here is served from atomic counters or one Summary
+// pass, so scraping is cheap enough for a 15s interval.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	var b strings.Builder
+
+	promMetric(&b, "ddserver_sketches_ingested_total", "counter",
+		"Encoded sketches merged via POST /ingest.",
+		float64(s.sketchesIngested.Load()))
+	promMetric(&b, "ddserver_values_ingested_total", "counter",
+		"Raw values accepted into the unkeyed aggregate via POST /values.",
+		float64(s.valuesIngested.Load()))
+	promMetric(&b, "ddserver_keyed_values_ingested_total", "counter",
+		"Raw values accepted into the keyed registry via POST /values?key=....",
+		float64(s.keyedIngested.Load()))
+
+	// Aggregate-plane gauges. An empty aggregate reports count 0 at the
+	// configured base accuracy and epoch 0 rather than omitting the
+	// series, so dashboards see a continuous timeline from startup.
+	count, alpha, epoch := 0.0, s.agg.RelativeAccuracy(), 0
+	if summary, err := s.agg.Summary(); err == nil {
+		count, alpha, epoch = summary.Count, summary.RelativeAccuracy, summary.CollapseEpoch
+	}
+	promMetric(&b, "ddserver_aggregate_count", "gauge",
+		"Total weight across the aggregate's retained windows.", count)
+	promMetric(&b, "ddserver_aggregate_relative_accuracy", "gauge",
+		"Relative accuracy currently guaranteed by the aggregate (degrades under uniform collapse).", alpha)
+	promMetric(&b, "ddserver_collapse_epoch", "gauge",
+		"Uniform-collapse epoch of the aggregate (0 until the bin budget first binds).", float64(epoch))
+
+	st := s.reg.Stats()
+	promMetric(&b, "ddserver_registry_live_keys", "gauge",
+		"Series currently holding their own sketch in the keyed registry.",
+		float64(st.LiveKeys))
+	promMetric(&b, "ddserver_registry_max_sketches", "gauge",
+		"Configured per-key sketch budget of the keyed registry.",
+		float64(st.MaxSketches))
+	promMetric(&b, "ddserver_registry_admitted_total", "counter",
+		"Keys ever promoted to their own sketch.", float64(st.Admitted))
+	promMetric(&b, "ddserver_registry_evicted_total", "counter",
+		"Per-key sketches evicted and merged into the overflow sketch.",
+		float64(st.Evicted))
+	promMetric(&b, "ddserver_registry_overflow_values_total", "counter",
+		"Pre-admission value insertions routed to the overflow sketch.",
+		float64(st.OverflowedValues))
+	promMetric(&b, "ddserver_registry_overflow_weight", "gauge",
+		"Total weight currently held by the registry's overflow sketches.",
+		st.OverflowWeight)
+	promMetric(&b, "ddserver_registry_size_bytes", "gauge",
+		"Estimated in-memory footprint of the keyed registry.",
+		float64(st.SizeBytes))
+
+	promMetric(&b, "ddserver_uptime_seconds", "gauge",
+		"Seconds since the server started.",
+		s.cfg.now().Sub(s.started).Seconds())
+
+	w.Header().Set("Content-Type", metricsContentType)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/ddsketch-go/ddsketch"
 	"github.com/ddsketch-go/ddsketch/mapping"
+	"github.com/ddsketch-go/ddsketch/registry"
 )
 
 // maxIngestBytes bounds the size of one POSTed payload. A DDSketch with
@@ -31,19 +32,28 @@ type config struct {
 	shards      int           // shard count for the live ingest layer (0 = auto)
 	interval    time.Duration // duration of one aggregation window
 	windows     int           // number of retained windows
-	now         func() time.Time
+
+	// Keyed (per-series) aggregation: the registry budget and
+	// admission threshold of the SketchMap behind POST /values?key=…
+	// and GET /summary?filter=… .
+	registrySketches  int     // max live per-key sketches
+	registryAdmission float64 // estimated weight before a key earns a sketch
+
+	now func() time.Time
 }
 
 func defaultConfig() config {
 	return config{
-		addr:        ":8080",
-		alpha:       0.01,
-		mappingName: "log",
-		maxBins:     2048,
-		shards:      0,
-		interval:    10 * time.Second,
-		windows:     6,
-		now:         time.Now,
+		addr:              ":8080",
+		alpha:             0.01,
+		mappingName:       "log",
+		maxBins:           2048,
+		shards:            0,
+		interval:          10 * time.Second,
+		windows:           6,
+		registrySketches:  10_000,
+		registryAdmission: 1,
+		now:               time.Now,
 	}
 }
 
@@ -77,6 +87,14 @@ type server struct {
 	cfg config
 	agg *ddsketch.WindowedSharded
 
+	// reg is the keyed plane: a registry.SketchMap holding one sketch
+	// per tagged series (admission-gated, budget-evicted into an
+	// overflow sketch). Keyed POST /values land here; GET
+	// /summary?filter=… answers roll-ups over it. The unkeyed aggregate
+	// above and the keyed registry are separate planes: unkeyed values
+	// are windowed globally, keyed values are retained per series.
+	reg *registry.SketchMap
+
 	// maxIndexable is the aggregate mapping's largest indexable
 	// magnitude; /values pre-validates raw values against it so a batch
 	// with an unrecordable value is rejected atomically, before anything
@@ -85,6 +103,7 @@ type server struct {
 
 	sketchesIngested atomic.Int64
 	valuesIngested   atomic.Int64
+	keyedIngested    atomic.Int64
 	started          time.Time
 }
 
@@ -117,9 +136,22 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	agg := sketch.(*ddsketch.WindowedSharded)
+	// Per-key sketches share the aggregate's mapping and bin-bound
+	// policy but not its sharding or windowing: the registry's segments
+	// provide the concurrency, and keyed series are retained until
+	// evicted into overflow rather than rotated out.
+	reg, err := registry.New(
+		registry.WithMaxSketches(cfg.registrySketches),
+		registry.WithAdmissionThreshold(cfg.registryAdmission),
+		registry.WithSketchOptions(ddsketch.WithMapping(m), boundOpt),
+	)
+	if err != nil {
+		return nil, err
+	}
 	return &server{
 		cfg: cfg,
 		agg: agg,
+		reg: reg,
 		// Read the bound off the sketch's own mapping (via an empty
 		// snapshot) so pre-validation can never desync from what the
 		// sketch actually rejects.
@@ -153,6 +185,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/quantile", s.handleQuantile)
 	mux.HandleFunc("/summary", s.handleSummary)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -220,12 +253,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // rather than half-ingested — then lands in the live layer through
 // AddBatch, which takes each shard lock at most once for the whole
 // batch instead of once per value.
+//
+// With a series key — ?key=service=api,endpoint=/login as a query
+// parameter, or a first body line of the form key=service=api,… — the
+// batch is instead recorded under that series in the keyed registry,
+// where it is admission-gated, budget-evicted, and queryable through
+// GET /summary?filter=… .
 func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
 	}
-	fields := strings.Fields(string(body))
+	payload := string(body)
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		// Key in the body: a first line "key=<label set>", values after.
+		if rest, found := strings.CutPrefix(payload, "key="); found {
+			key, payload, _ = strings.Cut(rest, "\n")
+		}
+	}
+	fields := strings.Fields(payload)
 	values := make([]float64, 0, len(fields))
 	for _, field := range fields {
 		v, err := strconv.ParseFloat(field, 64)
@@ -239,6 +286,25 @@ func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		values = append(values, v)
+	}
+	if key != "" {
+		ls, err := registry.ParseLabelSet(key)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(values) > 0 {
+			if err := s.reg.AddBatch(ls, values); err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		s.keyedIngested.Add(int64(len(values)))
+		writeJSON(w, http.StatusOK, map[string]any{
+			"accepted": len(values),
+			"key":      ls.String(),
+		})
+		return
 	}
 	if err := s.agg.AddBatch(values); err != nil {
 		// Unreachable after validation, but a batch must never be
@@ -338,6 +404,13 @@ var defaultSummaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
 // handleSummary answers GET /summary[?q=0.5,0.9,0.99][&window=k]: the
 // full Summary (count, sum, min, max, avg, quantiles) over the trailing
 // k windows in exactly one merge pass.
+//
+// With ?filter=… the summary is instead a roll-up over the keyed
+// registry: filter=* merges every live series plus the overflow sketch
+// (evicted and pre-admission values), and filter=service=api,endpoint=*
+// merges the series matching every condition (a value of * requires
+// the label's presence with any value). Filtered summaries ignore
+// window= — keyed series are retained until evicted, not windowed.
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
@@ -351,6 +424,28 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+	}
+	if filterParam := r.URL.Query().Get("filter"); filterParam != "" {
+		f, err := registry.ParseFilter(filterParam)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		summary, matched, err := s.reg.RollUpSummary(f, qs...)
+		switch {
+		case errors.Is(err, ddsketch.ErrEmptySketch):
+			writeError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"summary": summary,
+			"filter":  f.String(),
+			"matched": matched,
+		})
+		return
 	}
 	trailing, err := s.parseWindow(r)
 	if err != nil {
@@ -396,6 +491,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"windows":           s.agg.Windows(),
 		"sketches_ingested": s.sketchesIngested.Load(),
 		"values_ingested":   s.valuesIngested.Load(),
+		"keyed_ingested":    s.keyedIngested.Load(),
+		"registry":          s.reg.Stats(),
 		"uptime":            s.cfg.now().Sub(s.started).String(),
 	}
 	summary, err := s.agg.Summary(0.5, 0.95, 0.99)

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -666,5 +668,171 @@ func TestServerUniformCollapseCubicMapping(t *testing.T) {
 	detail := stats["mapping_detail"].(string)
 	if !strings.Contains(detail, "Cubically") || !strings.Contains(detail, "collapseEpoch") {
 		t.Errorf("mapping_detail = %q, want the cubic mapping with its collapse lineage", detail)
+	}
+}
+
+// TestServerKeyedIngest exercises the keyed plane end to end: batches
+// land under series keys (query-param and body-first-line forms),
+// filtered summaries roll matching series up, filter=* covers
+// everything, and keyed ingest never leaks into the unkeyed aggregate.
+func TestServerKeyedIngest(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	postKeyed := func(url, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Query-param key; note the label set arrives non-canonical.
+	out := postKeyed(ts.URL+"/values?key="+url.QueryEscape("endpoint=/login, service = api"), "1 2 3 4")
+	if got := out["key"].(string); got != "endpoint=/login,service=api" {
+		t.Errorf("canonical key = %q", got)
+	}
+	if got := out["accepted"].(float64); got != 4 {
+		t.Errorf("accepted = %g, want 4", got)
+	}
+	// Body-first-line key for a second series.
+	postKeyed(ts.URL+"/values", "key=service=api,endpoint=/list\n10 20 30")
+	// A third series under a different service.
+	postKeyed(ts.URL+"/values?key="+url.QueryEscape("service=web,endpoint=/login"), "100 200")
+
+	// Keyed ingest stays out of the unkeyed aggregate.
+	getJSON(t, ts.URL+"/summary", http.StatusNotFound)
+
+	// Constrained roll-up: service=api merges the two api series.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api"), http.StatusOK)
+	if got := out["matched"].(float64); got != 2 {
+		t.Errorf("service=api matched = %g, want 2", got)
+	}
+	summary := out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 7 {
+		t.Errorf("service=api count = %g, want 7", got)
+	}
+	if got := summary["sum"].(float64); got != 70 {
+		t.Errorf("service=api sum = %g, want 70", got)
+	}
+
+	// Wildcard value: endpoint=/login across services.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("endpoint=/login"), http.StatusOK)
+	if got := out["summary"].(map[string]any)["count"].(float64); got != 6 {
+		t.Errorf("endpoint=/login count = %g, want 6", got)
+	}
+
+	// filter=* sees every keyed value.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("*"), http.StatusOK)
+	if got := out["summary"].(map[string]any)["count"].(float64); got != 9 {
+		t.Errorf("filter=* count = %g, want 9", got)
+	}
+	if got := out["filter"].(string); got != "*" {
+		t.Errorf("canonical filter = %q, want *", got)
+	}
+
+	// A filter matching nothing is 404, like an empty aggregate.
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=nope"), http.StatusNotFound)
+	// Malformed key and filter are 400s.
+	resp, err := http.Post(ts.URL+"/values?key=%3Dbroken", "text/plain", strings.NewReader("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad key: status %d, want 400", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("a=1,a=2"), http.StatusBadRequest)
+
+	// /stats reports the keyed plane.
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["keyed_ingested"].(float64); got != 9 {
+		t.Errorf("keyed_ingested = %g, want 9", got)
+	}
+	reg := stats["registry"].(map[string]any)
+	if got := reg["live_keys"].(float64); got != 3 {
+		t.Errorf("registry live_keys = %g, want 3", got)
+	}
+	if got := reg["max_sketches"].(float64); got == 0 {
+		t.Error("registry max_sketches missing")
+	}
+}
+
+// TestServerMetrics scrapes GET /metrics and checks the Prometheus
+// text-format output carries the ingest counters and registry gauges
+// with the values the test just produced.
+func TestServerMetrics(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	for _, req := range []struct{ path, body string }{
+		{"/values", "1 2 3"},
+		{"/values?key=" + url.QueryEscape("service=api"), "4 5"},
+	} {
+		resp, err := http.Post(ts.URL+req.path, "text/plain", strings.NewReader(req.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", req.path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"ddserver_sketches_ingested_total 0\n",
+		"ddserver_values_ingested_total 3\n",
+		"ddserver_keyed_values_ingested_total 2\n",
+		"ddserver_aggregate_count 3\n",
+		"ddserver_collapse_epoch 0\n",
+		"ddserver_registry_live_keys 1\n",
+		"ddserver_registry_admitted_total 1\n",
+		"ddserver_registry_evicted_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+	// Every sample line has HELP and TYPE headers.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.Fields(line)[0]
+		if !strings.Contains(body, "# HELP "+name+" ") || !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("metric %s lacks HELP/TYPE headers", name)
+		}
+	}
+	// POST is rejected.
+	postResp, err := http.Post(ts.URL+"/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want 405", postResp.StatusCode)
 	}
 }

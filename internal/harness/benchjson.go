@@ -24,8 +24,10 @@ import (
 
 // BenchSchemaVersion identifies the report layout; bump it when fields
 // change incompatibly so stale baselines fail loudly instead of
-// comparing garbage.
-const BenchSchemaVersion = 1
+// comparing garbage. Version 2 added the keyed-registry cell
+// (pareto/keyed) with its live_keys / registry_bytes / rollup_ns_per_op
+// fields.
+const BenchSchemaVersion = 2
 
 // BenchEntry is one dataset × mapping measurement.
 type BenchEntry struct {
@@ -46,6 +48,14 @@ type BenchEntry struct {
 	RelErrP50 float64 `json:"rel_err_p50"`
 	RelErrP95 float64 `json:"rel_err_p95"`
 	RelErrP99 float64 `json:"rel_err_p99"`
+
+	// Keyed-registry cell only (mapping "keyed"): live-key cardinality
+	// and registry footprint after ingesting N values across the keyed
+	// fan-out, and the cost of one match-all roll-up over it. Zero in
+	// ordinary single-sketch cells.
+	LiveKeys      int     `json:"live_keys,omitempty"`
+	RegistryBytes int     `json:"registry_bytes,omitempty"`
+	RollupNsPerOp float64 `json:"rollup_ns_per_op,omitempty"`
 }
 
 // BenchReport is the output of one sweep.
@@ -126,6 +136,17 @@ func RunBench(cfg Config) (BenchReport, error) {
 		sort.Float64s(sorted)
 		for _, bm := range benchMappings {
 			entry, err := benchEntry(dataset, bm.name, bm.new, bm.uniform, values, sorted)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			report.Entries = append(report.Entries, entry)
+		}
+		// One keyed-registry cell on the heavy-tailed dataset: the same
+		// values fanned out across high key cardinality under a tight
+		// sketch budget, gating keyed ingest, roll-up latency, and the
+		// registry's cardinality/footprint trajectory.
+		if dataset == "pareto" {
+			entry, err := benchKeyedEntry(dataset, values, sorted)
 			if err != nil {
 				return BenchReport{}, err
 			}
@@ -335,6 +356,8 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 		}{
 			{"add", b.AddNsPerOp, cur.AddNsPerOp},
 			{"batch-add", b.BatchAddNsPerOp, cur.BatchAddNsPerOp},
+			// Zero in non-keyed cells, so the base>0 guard below skips it.
+			{"rollup", b.RollupNsPerOp, cur.RollupNsPerOp},
 		} {
 			allowed := gate.base * scale * (1 + tolerance)
 			if gate.base > 0 && gate.cur > allowed {
@@ -354,6 +377,14 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 					"%s/%s: %s relative error %.3e exceeds the α=%g guarantee",
 					cur.Dataset, cur.Mapping, acc.name, acc.err, DDSketchAlpha))
 			}
+		}
+		// The keyed cell's live-key count is a deterministic function of
+		// the stream (same N, same seed, same budget), so any drift means
+		// the admission or eviction policy changed behavior, not timing.
+		if b.LiveKeys > 0 && cur.LiveKeys != b.LiveKeys {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: live keys %d differ from baseline %d (admission/eviction behavior changed)",
+				cur.Dataset, cur.Mapping, cur.LiveKeys, b.LiveKeys))
 		}
 	}
 	// A baseline cell with no counterpart in the current report means a

@@ -31,8 +31,17 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 		if e.N != benchTestConfig.N {
 			t.Errorf("%s/%s: N = %d, want %d", e.Dataset, e.Mapping, e.N, benchTestConfig.N)
 		}
-		if e.AddNsPerOp <= 0 || e.BatchAddNsPerOp <= 0 || e.MergeNsPerOp <= 0 {
+		if e.AddNsPerOp <= 0 || e.BatchAddNsPerOp <= 0 {
 			t.Errorf("%s/%s: non-positive timing %+v", e.Dataset, e.Mapping, e)
+		}
+		if e.Mapping == "keyed" {
+			// The keyed cell times a roll-up instead of a two-sketch
+			// merge, and must report the registry's cardinality state.
+			if e.RollupNsPerOp <= 0 || e.LiveKeys <= 0 || e.RegistryBytes <= 0 {
+				t.Errorf("%s/%s: keyed cell missing registry measurements %+v", e.Dataset, e.Mapping, e)
+			}
+		} else if e.MergeNsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive merge timing %+v", e.Dataset, e.Mapping, e)
 		}
 		if e.Bins <= 0 || e.SketchBytes <= 0 {
 			t.Errorf("%s/%s: empty sketch measured (bins %d, bytes %d)",
@@ -53,6 +62,9 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 		if !seen["pareto/"+m.name] {
 			t.Errorf("missing entry pareto/%s", m.name)
 		}
+	}
+	if !seen["pareto/keyed"] {
+		t.Error("missing keyed-registry entry pareto/keyed")
 	}
 
 	var buf bytes.Buffer
@@ -192,6 +204,37 @@ func TestCompareBenchGates(t *testing.T) {
 		}
 		if !strings.Contains(strings.Join(got, "\n"), "no baseline entries") {
 			t.Errorf("regressions = %v, want empty-intersection error", got)
+		}
+	})
+
+	t.Run("keyed cell gates", func(t *testing.T) {
+		// The keyed cell adds two gates: roll-up latency (calibration-
+		// scaled like the add paths) and live-key determinism (exact).
+		withKeyed := func() BenchReport {
+			r := benchFixture()
+			r.Entries = append(r.Entries, BenchEntry{
+				Dataset: "pareto", Mapping: "keyed", N: 1000,
+				AddNsPerOp: 100, BatchAddNsPerOp: 60,
+				Bins: 300, SketchBytes: 5000,
+				RelErrP50: 0.005, RelErrP95: 0.006, RelErrP99: 0.007,
+				LiveKeys: 100, RegistryBytes: 800_000, RollupNsPerOp: 50_000})
+			return r
+		}
+		baseline := withKeyed()
+		if got := CompareBench(baseline, withKeyed(), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none on identical keyed reports", got)
+		}
+		current := withKeyed()
+		current.Entries[2].RollupNsPerOp = 70_000 // +40% > 25%
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "rollup") {
+			t.Errorf("regressions = %v, want one keyed rollup regression", got)
+		}
+		current = withKeyed()
+		current.Entries[2].LiveKeys = 99
+		got = CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "live keys") {
+			t.Errorf("regressions = %v, want one live-key drift error", got)
 		}
 	})
 

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+	"github.com/ddsketch-go/ddsketch/registry"
+)
+
+// The keyed cell measures the registry.SketchMap at production-shaped
+// cardinality: at the full sweep size (-n 200000) the N values fan out
+// across 10⁵ distinct series under a 10⁴-sketch budget, so the measured
+// path includes admission gating, LRU eviction into overflow, and the
+// canonical-key map lookups — not just sketch insertion. The roll-up
+// number is the read path of a "global p99 across every series" query.
+
+// benchKeyedBatch is the per-series buffer size the keyed batch
+// measurement flushes — the shape an agent's per-series buffer
+// produces, much smaller than BenchBatchSize because any one series
+// sees only a sliver of the stream.
+const benchKeyedBatch = 16
+
+// keyedScale derives the key cardinality and sketch budget from the
+// sweep size: half as many keys as values (so series hold a couple of
+// values each, the adversarial shape), capped at 10⁵ keys, with a 10:1
+// cardinality-to-budget ratio so eviction stays on the measured path.
+func keyedScale(n int) (nKeys, budget int) {
+	nKeys = n / 2
+	if nKeys > 100_000 {
+		nKeys = 100_000
+	}
+	if nKeys < 1 {
+		nKeys = 1
+	}
+	budget = nKeys / 10
+	if budget < 1 {
+		budget = 1
+	}
+	return nKeys, budget
+}
+
+// benchKeyedLabelSets builds the keyed cell's label sets up front so
+// the timed sections measure the registry, not label canonicalization.
+func benchKeyedLabelSets(nKeys int) ([]registry.LabelSet, error) {
+	keys := make([]registry.LabelSet, nKeys)
+	for i := range keys {
+		ls, err := registry.NewLabelSet(
+			registry.Label{Name: "service", Value: "svc" + strconv.Itoa(i%100)},
+			registry.Label{Name: "endpoint", Value: "/ep" + strconv.Itoa(i)},
+		)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = ls
+	}
+	return keys, nil
+}
+
+// benchKeyedEntry measures the keyed-registry cell on one dataset.
+func benchKeyedEntry(dataset string, values, sorted []float64) (BenchEntry, error) {
+	nKeys, budget := keyedScale(len(values))
+	keys, err := benchKeyedLabelSets(nKeys)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	newRegistry := func() (*registry.SketchMap, error) {
+		return registry.New(
+			registry.WithMaxSketches(budget),
+			registry.WithAdmissionThreshold(2),
+			registry.WithSketchOptions(
+				ddsketch.WithRelativeAccuracy(DDSketchAlpha),
+				ddsketch.WithMaxBins(DDSketchMaxBins),
+			),
+		)
+	}
+	entry := BenchEntry{Dataset: dataset, Mapping: "keyed", N: len(values)}
+
+	// Per-value keyed add: hash + segment lock + (map hit | admission
+	// test) per value, keys cycling through the full cardinality.
+	var filled *registry.SketchMap
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		m, err := newRegistry()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		start := time.Now()
+		for i, v := range values {
+			_ = m.Add(keys[i%nKeys], v)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		filled = m
+	}
+	entry.AddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Keyed batch path: per-series buffers of benchKeyedBatch values,
+	// normalized to ns per inserted value like the other cells.
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		m, err := newRegistry()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		start := time.Now()
+		for lo, k := 0, 0; lo < len(values); lo, k = lo+benchKeyedBatch, k+1 {
+			hi := lo + benchKeyedBatch
+			if hi > len(values) {
+				hi = len(values)
+			}
+			_ = m.AddBatch(keys[k%nKeys], values[lo:hi])
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.BatchAddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Match-all roll-up over the filled registry: merges every live
+	// series plus overflow into one snapshot and reads the summary.
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		if _, _, err := filled.RollUpSummary(registry.MatchAll(), 0.5, 0.95, 0.99); err != nil {
+			return BenchEntry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.RollupNsPerOp = float64(best.Nanoseconds())
+
+	stats := filled.Stats()
+	entry.LiveKeys = stats.LiveKeys
+	entry.RegistryBytes = stats.SizeBytes
+
+	// Accuracy over the keyed plane: eviction and admission shuffle
+	// values between per-key sketches and overflow but never drop them,
+	// so the match-all roll-up must answer within α like any single
+	// sketch over the same stream.
+	rollup, _, err := filled.RollUp(registry.MatchAll())
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	entry.Bins = rollup.NumBins()
+	entry.SketchBytes = rollup.SizeBytes()
+	for _, probe := range []struct {
+		q   float64
+		dst *float64
+	}{{0.5, &entry.RelErrP50}, {0.95, &entry.RelErrP95}, {0.99, &entry.RelErrP99}} {
+		est, err := rollup.Quantile(probe.q)
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		*probe.dst = exact.RelativeError(est, exact.Quantile(sorted, probe.q))
+	}
+	return entry, nil
+}

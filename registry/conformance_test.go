@@ -1,0 +1,528 @@
+// Conformance-style tests for the registry: the same style of
+// behavioral assertions the root conformance suite runs against every
+// sketch variant, here asserting the registry's three correctness
+// contracts — the admission threshold is honored, eviction degrades
+// granularity but never global statistics, and the match-all roll-up is
+// exactly the overflow-plus-all-keys merge. The CI race step re-runs
+// every TestConformance* in this package.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/datagen"
+	"github.com/ddsketch-go/ddsketch/internal/exact"
+)
+
+func mustLabelSet(t testing.TB, s string) LabelSet {
+	t.Helper()
+	ls, err := ParseLabelSet(s)
+	if err != nil {
+		t.Fatalf("ParseLabelSet(%q): %v", s, err)
+	}
+	return ls
+}
+
+func mustFilter(t testing.TB, s string) Filter {
+	t.Helper()
+	f, err := ParseFilter(s)
+	if err != nil {
+		t.Fatalf("ParseFilter(%q): %v", s, err)
+	}
+	return f
+}
+
+// TestConformanceRegistryAdmissionThreshold: below the threshold a
+// series has no sketch of its own and its values aggregate in
+// overflow; from the crossing value on, values land in the series'
+// sketch. Nothing is ever dropped.
+func TestConformanceRegistryAdmissionThreshold(t *testing.T) {
+	m, err := New(WithAdmissionThreshold(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := mustLabelSet(t, "service=api,endpoint=/hot")
+	cold := mustLabelSet(t, "service=api,endpoint=/cold")
+	for i := 1; i <= 10; i++ {
+		if err := m.Add(hot, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if err := m.Add(cold, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := m.LiveKeys(); got != 1 {
+		t.Fatalf("LiveKeys = %d, want 1 (only the hot series crossed the threshold)", got)
+	}
+	if _, ok := m.Get(cold); ok {
+		t.Error("cold series has a sketch below the admission threshold")
+	}
+	hotSketch, ok := m.Get(hot)
+	if !ok {
+		t.Fatal("hot series not admitted")
+	}
+	// Values 1–4 arrived before the estimate reached 5; the admission
+	// value (the 5th) and everything after live in the series' sketch.
+	if got := hotSketch.Count(); got != 6 {
+		t.Errorf("hot sketch count = %g, want 6 (values 5..10)", got)
+	}
+	stats := m.Stats()
+	if stats.Admitted != 1 || stats.OverflowedValues != 7 {
+		t.Errorf("stats admitted/overflowed = %d/%d, want 1/7", stats.Admitted, stats.OverflowedValues)
+	}
+	if stats.OverflowWeight != 7 {
+		t.Errorf("overflow weight = %g, want 7", stats.OverflowWeight)
+	}
+	// No data dropped: the match-all roll-up sees all 13 values.
+	summary, matched, err := m.RollUpSummary(MatchAll(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 || summary.Count != 13 {
+		t.Errorf("roll-up matched/count = %d/%g, want 1/13", matched, summary.Count)
+	}
+	// A constrained filter covers only labeled (admitted) data.
+	if _, matched, err := m.RollUpSummary(mustFilter(t, "endpoint=/cold")); !errors.Is(err, ddsketch.ErrEmptySketch) || matched != 0 {
+		t.Errorf("cold roll-up = %v, matched %d; want ErrEmptySketch, 0", err, matched)
+	}
+}
+
+// TestConformanceRegistryEvictionPreservesGlobal: under a sketch budget
+// far below the key cardinality, the match-all roll-up still answers
+// exactly like a single unkeyed sketch fed the same stream — count,
+// sum, min, and max exactly; quantiles bucket-for-bucket (the merges
+// are exact, so the roll-up holds the identical multiset of buckets).
+func TestConformanceRegistryEvictionPreservesGlobal(t *testing.T) {
+	const nKeys, n = 64, 20_000
+	values := datagen.ParetoSeeded(n, 7)
+	m, err := New(
+		WithMaxSketches(8),
+		WithAdmissionThreshold(0),
+		WithSegments(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(ddsketch.DefaultRelativeAccuracy),
+		ddsketch.WithMaxBins(2048),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]LabelSet, nKeys)
+	for i := range keys {
+		keys[i] = mustLabelSet(t, "shard=s"+strconv.Itoa(i))
+	}
+	for i, v := range values {
+		if err := m.Add(keys[i%nKeys], v); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := m.LiveKeys(); live > 8 {
+		t.Errorf("LiveKeys = %d exceeds the budget of 8", live)
+	}
+	if stats := m.Stats(); stats.Evicted == 0 {
+		t.Fatal("expected evictions under a budget of 8 with 64 keys")
+	}
+	rollup, matched, err := m.RollUp(MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != m.LiveKeys() {
+		t.Errorf("matched %d != live %d", matched, m.LiveKeys())
+	}
+	assertSameGlobal(t, rollup, single.Snapshot())
+}
+
+// assertSameGlobal checks that two sketches of the same stream agree:
+// exact statistics exactly (sum within float-addition-order wiggle),
+// quantile estimates to within 1e-9 relative — same mapping, same
+// buckets, same answers.
+func assertSameGlobal(t *testing.T, got, want *ddsketch.DDSketch) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Errorf("count = %g, want %g", got.Count(), want.Count())
+	}
+	gotMin, _ := got.Min()
+	wantMin, _ := want.Min()
+	gotMax, _ := got.Max()
+	wantMax, _ := want.Max()
+	if gotMin != wantMin || gotMax != wantMax {
+		t.Errorf("min/max = %g/%g, want %g/%g", gotMin, gotMax, wantMin, wantMax)
+	}
+	gotSum, _ := got.Sum()
+	wantSum, _ := want.Sum()
+	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Errorf("sum = %g, want %g", gotSum, wantSum)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		gq, err := got.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wq, err := want.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gq-wq) > 1e-9*math.Abs(wq) {
+			t.Errorf("q=%g: roll-up %g vs single %g", q, gq, wq)
+		}
+	}
+}
+
+// TestConformanceRegistryRollupMatchesManualMerge: RollUp("*") is
+// definitionally the overflow sketch merged with every live key — the
+// acceptance identity of the registry.
+func TestConformanceRegistryRollupMatchesManualMerge(t *testing.T) {
+	values := datagen.ParetoSeeded(5_000, 3)
+	m, err := New(
+		WithMaxSketches(16),
+		WithAdmissionThreshold(3),
+		WithSegments(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 40
+	keys := make([]LabelSet, nKeys)
+	for i := range keys {
+		keys[i] = mustLabelSet(t, fmt.Sprintf("service=svc%d,zone=z%d", i, i%3))
+	}
+	for i, v := range values {
+		// Skewed key popularity so some series never cross the
+		// threshold: key j receives values where i%nKeys >= j is false.
+		if err := m.Add(keys[i%(1+i%nKeys)], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	manual, err := m.Overflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for _, key := range keys {
+		if sk, ok := m.Get(key); ok {
+			live++
+			if err := manual.MergeWith(sk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rollup, matched, err := m.RollUp(MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != live {
+		t.Errorf("roll-up matched %d live keys, Get found %d", matched, live)
+	}
+	if rollup.Count() != float64(len(values)) {
+		t.Errorf("roll-up count = %g, want %d", rollup.Count(), len(values))
+	}
+	assertSameGlobal(t, rollup, manual)
+}
+
+// TestConformanceRegistryFilterRollup: constrained filters merge
+// exactly the live series whose labels satisfy every condition, with
+// per-label wildcards requiring presence.
+func TestConformanceRegistryFilterRollup(t *testing.T) {
+	m, err := New(WithAdmissionThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type series struct {
+		labels string
+		count  int
+	}
+	all := []series{
+		{"service=api,endpoint=/a,status=200", 10},
+		{"service=api,endpoint=/a,status=500", 20},
+		{"service=api,endpoint=/b,status=200", 40},
+		{"service=web,endpoint=/a,status=200", 80},
+		{"service=web,status=200", 160}, // no endpoint label
+	}
+	v := 1.0
+	for _, s := range all {
+		ls := mustLabelSet(t, s.labels)
+		for i := 0; i < s.count; i++ {
+			if err := m.Add(ls, v); err != nil {
+				t.Fatal(err)
+			}
+			v += 0.25
+		}
+	}
+	cases := []struct {
+		filter      string
+		wantMatched int
+		wantCount   float64
+	}{
+		{"*", 5, 310},
+		{"service=api", 3, 70},
+		{"service=web", 2, 240},
+		{"status=500", 1, 20},
+		{"endpoint=*", 4, 150}, // excludes the series without an endpoint label
+		{"service=api,endpoint=/a", 2, 30},
+		{"service=api,status=*", 3, 70},
+		{"service=db", 0, 0},
+	}
+	for _, c := range cases {
+		summary, matched, err := m.RollUpSummary(mustFilter(t, c.filter), 0.5)
+		if c.wantMatched == 0 {
+			if !errors.Is(err, ddsketch.ErrEmptySketch) || matched != 0 {
+				t.Errorf("filter %q: err=%v matched=%d, want empty", c.filter, err, matched)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("filter %q: %v", c.filter, err)
+			continue
+		}
+		if matched != c.wantMatched || summary.Count != c.wantCount {
+			t.Errorf("filter %q: matched/count = %d/%g, want %d/%g",
+				c.filter, matched, summary.Count, c.wantMatched, c.wantCount)
+		}
+	}
+}
+
+// TestConformanceRegistryUniformTemplate: with a uniform-collapse
+// template, per-key sketches collapse to different epochs under tiny
+// bin budgets, evictions fold mixed epochs into overflow, and the
+// match-all roll-up still reconciles everything into one sketch whose
+// quantiles hold to the epoch-adjusted accuracy α′.
+func TestConformanceRegistryUniformTemplate(t *testing.T) {
+	const n = 30_000
+	values := datagen.ParetoSeeded(n, 11)
+	m, err := New(
+		WithMaxSketches(6),
+		WithAdmissionThreshold(0),
+		WithSegments(2),
+		WithSketchOptions(
+			ddsketch.WithRelativeAccuracy(0.01),
+			ddsketch.WithUniformCollapse(64),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if err := m.Add(mustLabelSet(t, "k=series"+strconv.Itoa(i%24)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	summary, _, err := m.RollUpSummary(MatchAll(), 0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Count != n {
+		t.Fatalf("roll-up count = %g, want %d", summary.Count, n)
+	}
+	if summary.CollapseEpoch == 0 {
+		t.Error("expected the tiny uniform budget to force at least one collapse")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for i, q := range []float64{0.5, 0.95, 0.99} {
+		est := summary.Quantiles[i].Value
+		truth := exact.Quantile(sorted, q)
+		if re := exact.RelativeError(est, truth); re > summary.RelativeAccuracy+1e-9 {
+			t.Errorf("q=%g: relative error %.3e exceeds the degraded guarantee α′=%.3e",
+				q, re, summary.RelativeAccuracy)
+		}
+	}
+}
+
+// TestConformanceRegistryConcurrent hammers the registry from parallel
+// writers (shared and private keys) while readers roll up, then checks
+// nothing was lost. Run under -race in CI.
+func TestConformanceRegistryConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 2_000
+		keys    = 50
+	)
+	m, err := New(
+		WithMaxSketches(32),
+		WithAdmissionThreshold(2),
+		WithSegments(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]LabelSet, keys)
+	for i := range shared {
+		shared[i] = mustLabelSet(t, "worker=shared,key=k"+strconv.Itoa(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			private := mustLabelSet(t, "worker=w"+strconv.Itoa(w))
+			for i := 0; i < perW; i++ {
+				v := 1 + float64((w*perW+i)%1000)
+				var err error
+				if i%3 == 0 {
+					err = m.Add(private, v)
+				} else {
+					err = m.Add(shared[i%keys], v)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%500 == 0 {
+					if _, _, err := m.RollUp(MatchAll()); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = m.Stats()
+					_, _ = m.Get(shared[i%keys])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rollup, _, err := m.RollUp(MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rollup.Count(), float64(workers*perW); got != want {
+		t.Errorf("total count = %g, want %g", got, want)
+	}
+	if live := m.LiveKeys(); live > 32 {
+		t.Errorf("LiveKeys = %d exceeds budget 32 at quiescence", live)
+	}
+	m.Clear()
+	if m.LiveKeys() != 0 || m.Stats().OverflowWeight != 0 {
+		t.Error("Clear left data behind")
+	}
+	if _, _, err := m.RollUpSummary(MatchAll()); !errors.Is(err, ddsketch.ErrEmptySketch) {
+		t.Errorf("post-Clear roll-up error = %v, want ErrEmptySketch", err)
+	}
+}
+
+// TestRegistryAdversarialCardinality is the acceptance criterion: a
+// 10⁶-distinct-key adversarial stream under a 10⁴-sketch budget must
+// stay within the configured memory budget, and the match-all roll-up
+// must answer within the sketch's accuracy bound of a single unkeyed
+// sketch fed the same stream. (Scaled down by 10× under the race
+// detector and -short.)
+func TestRegistryAdversarialCardinality(t *testing.T) {
+	nKeys := 1_000_000
+	if raceEnabled || testing.Short() {
+		nKeys = 100_000
+	}
+	const (
+		budget      = 10_000
+		uniformBins = 512
+		segments    = 16
+		cmDepth     = 4
+		cmWidth     = 4096
+	)
+	values := datagen.ParetoSeeded(2*nKeys, 1)
+	m, err := New(
+		WithMaxSketches(budget),
+		WithAdmissionThreshold(1),
+		WithSegments(segments),
+		WithAdmissionSketch(cmDepth, cmWidth),
+		WithSketchOptions(
+			ddsketch.WithRelativeAccuracy(0.01),
+			ddsketch.WithUniformCollapse(uniformBins),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ddsketch.NewSketch(
+		ddsketch.WithRelativeAccuracy(0.01),
+		ddsketch.WithUniformCollapse(uniformBins),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.AddBatch(values); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := make([]LabelSet, nKeys)
+	for i := range keys {
+		ls, err := NewLabelSet(
+			Label{Name: "metric", Value: "latency"},
+			Label{Name: "tenant", Value: "t" + strconv.Itoa(i)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = ls
+	}
+	for i, v := range values {
+		if err := m.Add(keys[i%nKeys], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := m.Stats()
+	if stats.LiveKeys > budget {
+		t.Fatalf("LiveKeys = %d exceeds the budget %d", stats.LiveKeys, budget)
+	}
+	if stats.Evicted == 0 {
+		t.Fatal("adversarial stream caused no evictions; the test is not exercising the budget")
+	}
+	// Worst-case footprint from the configuration alone: every live
+	// sketch at its uniform bin cap (8 bytes per bin across two stores,
+	// with dense-store growth slack and fixed fields), plus per-segment
+	// overflow and admission sketches, plus per-series bookkeeping.
+	perSketchCap := uniformBins*2*8 + 2048
+	bound := budget*(perSketchCap+entryOverhead+64) + segments*(perSketchCap+cmDepth*cmWidth*8+4096)
+	if stats.SizeBytes > bound {
+		t.Fatalf("SizeBytes = %d exceeds the configured worst case %d", stats.SizeBytes, bound)
+	}
+	t.Logf("live=%d admitted=%d evicted=%d overflowed=%d size=%.1fMB (bound %.1fMB)",
+		stats.LiveKeys, stats.Admitted, stats.Evicted, stats.OverflowedValues,
+		float64(stats.SizeBytes)/1e6, float64(bound)/1e6)
+
+	summary, _, err := m.RollUpSummary(MatchAll(), 0.01, 0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Count != float64(len(values)) {
+		t.Fatalf("roll-up count = %g, want %d (eviction must not lose data)", summary.Count, len(values))
+	}
+	singleSummary, err := single.Summary(0.01, 0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for i, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		truth := exact.Quantile(sorted, q)
+		rollupEst := summary.Quantiles[i].Value
+		singleEst := singleSummary.Quantiles[i].Value
+		if re := exact.RelativeError(rollupEst, truth); re > summary.RelativeAccuracy+1e-9 {
+			t.Errorf("q=%g: roll-up relative error %.3e exceeds α′=%.3e", q, re, summary.RelativeAccuracy)
+		}
+		// "Within the sketch's accuracy bound of a single unkeyed
+		// sketch": both estimates carry their own α′ guarantee against
+		// the same truth, so they must sit within the combined bound of
+		// each other.
+		combined := summary.RelativeAccuracy + singleSummary.RelativeAccuracy
+		if diff := math.Abs(rollupEst-singleEst) / math.Abs(singleEst); diff > combined+1e-9 {
+			t.Errorf("q=%g: roll-up %g vs single %g differ by %.3e (> combined bound %.3e)",
+				q, rollupEst, singleEst, diff, combined)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wildcard is the filter token matching anything: the whole-filter
+// wildcard "*" matches every series, and a per-label "name=*" matches
+// any value of that label (the label must be present). A literal "*"
+// label value therefore cannot be filtered for exactly; it is reserved.
+const Wildcard = "*"
+
+// constraint is one parsed label condition of a filter.
+type constraint struct {
+	name  string
+	value string
+	any   bool // "name=*": label present, any value
+}
+
+// Filter selects series by their labels: a conjunction of per-label
+// conditions, each either an exact match ("status=500") or a per-label
+// wildcard ("endpoint=*"). Labels the filter does not name are
+// unconstrained, so "service=api" matches every series carrying
+// service=api regardless of its other labels.
+//
+// The zero Filter matches nothing; use MatchAll or ParseFilter.
+type Filter struct {
+	all         bool
+	constraints []constraint // sorted by name, names unique
+	str         string
+}
+
+// MatchAll returns the filter matching every series — the "*" filter.
+// It is the only filter whose roll-up also covers the overflow sketch
+// (pre-admission and evicted data), because overflowed values no longer
+// carry labels to match against.
+func MatchAll() Filter { return Filter{all: true, str: Wildcard} }
+
+// ParseFilter parses a tag filter: either "*" (match everything) or a
+// comma-separated list of name=value conditions where a value of "*"
+// matches any value of that label. Conditions follow the same
+// syntactic rules as label sets (first '=' splits, whitespace trimmed,
+// duplicate/empty names rejected, MaxLabels/MaxEncodedLength bounds).
+func ParseFilter(s string) (Filter, error) {
+	if len(s) > MaxEncodedLength {
+		return Filter{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte limit", ErrInvalidFilter, len(s), MaxEncodedLength)
+	}
+	trimmed := strings.TrimSpace(s)
+	if trimmed == Wildcard {
+		return MatchAll(), nil
+	}
+	if trimmed == "" {
+		return Filter{}, fmt.Errorf("%w: empty (use %q to match everything)", ErrInvalidFilter, Wildcard)
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxLabels {
+		return Filter{}, fmt.Errorf("%w: %d conditions exceed the %d-condition limit", ErrInvalidFilter, len(parts), MaxLabels)
+	}
+	constraints := make([]constraint, 0, len(parts))
+	for _, part := range parts {
+		name, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return Filter{}, fmt.Errorf("%w: %q is not a name=value condition", ErrInvalidFilter, strings.TrimSpace(part))
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		if name == "" {
+			return Filter{}, fmt.Errorf("%w: empty label name in %q", ErrInvalidFilter, strings.TrimSpace(part))
+		}
+		if strings.Contains(name, "=") {
+			return Filter{}, fmt.Errorf("%w: label name %q contains '='", ErrInvalidFilter, name)
+		}
+		constraints = append(constraints, constraint{name: name, value: value, any: value == Wildcard})
+	}
+	sort.Slice(constraints, func(i, j int) bool { return constraints[i].name < constraints[j].name })
+	var b strings.Builder
+	for i, c := range constraints {
+		if i > 0 && constraints[i-1].name == c.name {
+			return Filter{}, fmt.Errorf("%w: duplicate label name %q", ErrInvalidFilter, c.name)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.name)
+		b.WriteByte('=')
+		b.WriteString(c.value)
+	}
+	return Filter{constraints: constraints, str: b.String()}, nil
+}
+
+// String returns the canonical encoding of the filter ("*" for the
+// match-all filter, sorted conditions otherwise). Like label sets,
+// filters round-trip: ParseFilter(f.String()) yields f again.
+func (f Filter) String() string { return f.str }
+
+// MatchesAll reports whether this is the "*" filter.
+func (f Filter) MatchesAll() bool { return f.all }
+
+// Matches reports whether the series identified by ls satisfies every
+// condition of the filter.
+func (f Filter) Matches(ls LabelSet) bool {
+	if f.all {
+		return true
+	}
+	if len(f.constraints) == 0 {
+		return false // zero Filter
+	}
+	for _, c := range f.constraints {
+		v, ok := ls.Get(c.name)
+		if !ok || (!c.any && v != c.value) {
+			return false
+		}
+	}
+	return true
+}

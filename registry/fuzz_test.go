@@ -1,0 +1,135 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLabelSetRoundTrip asserts the canonicalization contract over
+// arbitrary input: parsing never panics, and when it succeeds the
+// canonical encoding is a fixed point — parse → String → parse yields
+// the identical canonical string, with the labels intact and
+// addressable via Get. Canonical encodings are the registry's map
+// keys, so a non-idempotent encoding would silently split one series
+// into several.
+func FuzzLabelSetRoundTrip(f *testing.F) {
+	seeds := []string{
+		"service=api",
+		"service=api,endpoint=/login,status=500",
+		"b=2,a=1",
+		" a = 1 , b = 2 ",
+		"empty=",
+		"expr=a=b=c",
+		"q=a b c",
+		"a=1,a=2",
+		"=nope",
+		"noequals",
+		",",
+		"a=1,",
+		strings.Repeat("k=v,", 100),
+		strings.Repeat("x", MaxEncodedLength+1),
+		"\x00=\x01",
+		"k=\xff\xfe",
+		"*=*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ls, err := ParseLabelSet(s)
+		if err != nil {
+			return // hostile input rejected without panicking: fine
+		}
+		canonical := ls.String()
+		if canonical == "" || ls.IsZero() {
+			t.Fatalf("ParseLabelSet(%q) accepted but produced a zero set", s)
+		}
+		again, err := ParseLabelSet(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q does not re-parse: %v", canonical, err)
+		}
+		if again.String() != canonical {
+			t.Fatalf("canonicalization not idempotent: %q -> %q", canonical, again.String())
+		}
+		// The labels survive the round trip and stay addressable.
+		labels := ls.Labels()
+		if len(labels) != again.Len() {
+			t.Fatalf("label count changed: %d -> %d", len(labels), again.Len())
+		}
+		for _, l := range labels {
+			if v, ok := again.Get(l.Name); !ok || v != l.Value {
+				t.Fatalf("label %q=%q lost in round trip (got %q, %v)", l.Name, l.Value, v, ok)
+			}
+		}
+		// Rebuilding from explicit pairs agrees with the parser.
+		rebuilt, err := NewLabelSet(labels...)
+		if err != nil {
+			t.Fatalf("NewLabelSet(%v): %v", labels, err)
+		}
+		if rebuilt.String() != canonical {
+			t.Fatalf("NewLabelSet disagrees with parser: %q vs %q", rebuilt.String(), canonical)
+		}
+	})
+}
+
+// FuzzFilterMatch asserts the tag-filter parser is total (never
+// panics), that accepted filters round-trip through their canonical
+// encoding, and that matching is consistent: "*" matches every parsed
+// series, and a filter built from a series' own labels matches it.
+func FuzzFilterMatch(f *testing.F) {
+	seeds := []struct{ filter, series string }{
+		{"*", "service=api"},
+		{"service=api", "service=api,endpoint=/a"},
+		{"service=*", "service=web"},
+		{"endpoint=*,service=api", "endpoint=/login,service=api"},
+		{"a=1,b=*", "a=1,b=2,c=3"},
+		{"a=*,a=1", "a=1"},
+		{"", "a=1"},
+		{"**", "a=1"},
+		{"=x", "a=1"},
+		{"a=\x00", "a=\x00"},
+	}
+	for _, s := range seeds {
+		f.Add(s.filter, s.series)
+	}
+	f.Fuzz(func(t *testing.T, filterInput, seriesInput string) {
+		filter, ferr := ParseFilter(filterInput)
+		series, serr := ParseLabelSet(seriesInput)
+		if ferr == nil {
+			canonical := filter.String()
+			again, err := ParseFilter(canonical)
+			if err != nil {
+				t.Fatalf("canonical filter %q does not re-parse: %v", canonical, err)
+			}
+			if again.String() != canonical {
+				t.Fatalf("filter canonicalization not idempotent: %q -> %q", canonical, again.String())
+			}
+			if serr == nil {
+				// Matching must not panic and must agree between the
+				// filter and its re-parsed canonical form.
+				if filter.Matches(series) != again.Matches(series) {
+					t.Fatalf("filter %q and its canonical form disagree on %q", filterInput, series.String())
+				}
+			}
+		}
+		if serr != nil {
+			return
+		}
+		if !MatchAll().Matches(series) {
+			t.Fatalf("MatchAll rejected %q", series.String())
+		}
+		// A series always satisfies the filter spelled from its own
+		// labels — unless one of its values is the reserved wildcard
+		// token, which the filter grammar reads as "any value" (still a
+		// match) — so equality-filter self-match must always hold.
+		self, err := ParseFilter(series.String())
+		if err != nil {
+			// A label value can be syntactically valid for a series but
+			// not for a filter? No: the grammars match — this is a bug.
+			t.Fatalf("series %q is not a valid filter: %v", series.String(), err)
+		}
+		if !self.Matches(series) {
+			t.Fatalf("series %q does not match its own filter", series.String())
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package registry provides SketchMap, a high-cardinality keyed
+// aggregation layer over ddsketch: a concurrent map from label sets
+// ("service=api,endpoint=/login,status=500"-style series identities) to
+// per-key quantile sketches, built for the workload the Moment-sketch
+// paper motivates — millions of tagged series, each with its own
+// latency distribution, under a hard memory budget.
+//
+// Three mechanisms keep a cardinality explosion from becoming an OOM,
+// and all three lean on the paper's central property (merges are exact,
+// §2.3), so they degrade aggregation *granularity*, never the
+// correctness of global quantiles:
+//
+//   - Admission gating: approximate per-key frequencies are tracked in
+//     small fixed space (a count-min sketch per segment); a key gets its
+//     own sketch only once its estimated rate passes a threshold.
+//     Values seen before admission are not dropped — they accumulate in
+//     an overflow sketch.
+//   - Size-budget eviction: at most MaxSketches per-key sketches are
+//     live; past the budget the least-recently-written series is folded
+//     into the overflow sketch (an exact merge) and its slot reused.
+//   - Roll-ups: RollUp merges every live key matching a tag filter in
+//     one pass; the match-all filter "*" additionally folds in the
+//     overflow sketch, so RollUp(MatchAll()) answers exactly as a
+//     single unkeyed sketch fed the same stream would (within the
+//     sketch's accuracy bound).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors returned by the label-set and filter parsers. Parse failures
+// wrap ErrInvalidLabelSet or ErrInvalidFilter so callers can classify
+// them with errors.Is while still seeing the offending input.
+var (
+	ErrInvalidLabelSet = errors.New("registry: invalid label set")
+	ErrInvalidFilter   = errors.New("registry: invalid filter")
+)
+
+// Parser limits: a label set (or filter) is a series identity, not a
+// payload; hostile inputs beyond these bounds are rejected up front so
+// parsing stays O(small) and the canonical strings stay usable as map
+// keys.
+const (
+	// MaxLabels bounds the number of name=value pairs in one label set.
+	MaxLabels = 64
+	// MaxEncodedLength bounds the length of one encoded label set.
+	MaxEncodedLength = 4096
+)
+
+// Label is one name=value pair of a series identity.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// LabelSet is an immutable, canonically encoded set of labels — the key
+// type of a SketchMap. Two label sets naming the same pairs in any
+// order canonicalize to the same encoding, so
+// "b=2,a=1" and "a=1,b=2" address the same series.
+//
+// The zero LabelSet is empty and not a valid series key.
+type LabelSet struct {
+	labels []Label // sorted by name, names unique
+	str    string  // canonical encoding, "" only for the zero set
+}
+
+// ParseLabelSet parses a comma-separated list of name=value pairs into
+// its canonical form: pairs sorted by name, surrounding whitespace
+// trimmed, at least one pair. The first '=' splits a pair, so values
+// may themselves contain '=' (but not ','). Duplicate names, empty
+// names, and inputs beyond MaxLabels/MaxEncodedLength are rejected.
+// The result round-trips: ParseLabelSet(ls.String()) yields ls again.
+func ParseLabelSet(s string) (LabelSet, error) {
+	if len(s) > MaxEncodedLength {
+		return LabelSet{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte limit", ErrInvalidLabelSet, len(s), MaxEncodedLength)
+	}
+	if strings.TrimSpace(s) == "" {
+		return LabelSet{}, fmt.Errorf("%w: empty", ErrInvalidLabelSet)
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > MaxLabels {
+		return LabelSet{}, fmt.Errorf("%w: %d labels exceed the %d-label limit", ErrInvalidLabelSet, len(parts), MaxLabels)
+	}
+	labels := make([]Label, 0, len(parts))
+	for _, part := range parts {
+		name, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return LabelSet{}, fmt.Errorf("%w: %q is not a name=value pair", ErrInvalidLabelSet, strings.TrimSpace(part))
+		}
+		name = strings.TrimSpace(name)
+		value = strings.TrimSpace(value)
+		if name == "" {
+			return LabelSet{}, fmt.Errorf("%w: empty label name in %q", ErrInvalidLabelSet, strings.TrimSpace(part))
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+	}
+	return NewLabelSet(labels...)
+}
+
+// NewLabelSet builds a canonical label set from explicit pairs,
+// enforcing the same rules as ParseLabelSet. Label values must not
+// contain ',' (the pair separator), and names must be non-empty and
+// free of both ',' and '=' — otherwise the canonical encoding would not
+// round-trip.
+func NewLabelSet(labels ...Label) (LabelSet, error) {
+	if len(labels) == 0 {
+		return LabelSet{}, fmt.Errorf("%w: empty", ErrInvalidLabelSet)
+	}
+	if len(labels) > MaxLabels {
+		return LabelSet{}, fmt.Errorf("%w: %d labels exceed the %d-label limit", ErrInvalidLabelSet, len(labels), MaxLabels)
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i, l := range sorted {
+		if l.Name == "" {
+			return LabelSet{}, fmt.Errorf("%w: empty label name", ErrInvalidLabelSet)
+		}
+		if strings.ContainsAny(l.Name, ",=") {
+			return LabelSet{}, fmt.Errorf("%w: label name %q contains ',' or '='", ErrInvalidLabelSet, l.Name)
+		}
+		if strings.Contains(l.Value, ",") {
+			return LabelSet{}, fmt.Errorf("%w: label value %q contains ','", ErrInvalidLabelSet, l.Value)
+		}
+		if l.Name != strings.TrimSpace(l.Name) || l.Value != strings.TrimSpace(l.Value) {
+			return LabelSet{}, fmt.Errorf("%w: label %q=%q has surrounding whitespace", ErrInvalidLabelSet, l.Name, l.Value)
+		}
+		if i > 0 && sorted[i-1].Name == l.Name {
+			return LabelSet{}, fmt.Errorf("%w: duplicate label name %q", ErrInvalidLabelSet, l.Name)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	if b.Len() > MaxEncodedLength {
+		return LabelSet{}, fmt.Errorf("%w: encoding %d bytes exceeds the %d-byte limit", ErrInvalidLabelSet, b.Len(), MaxEncodedLength)
+	}
+	return LabelSet{labels: sorted, str: b.String()}, nil
+}
+
+// String returns the canonical encoding: pairs sorted by name, joined
+// as "name=value,name=value". It is the identity SketchMap keys on.
+func (ls LabelSet) String() string { return ls.str }
+
+// IsZero reports whether the set holds no labels (the invalid key).
+func (ls LabelSet) IsZero() bool { return len(ls.labels) == 0 }
+
+// Len returns the number of labels.
+func (ls LabelSet) Len() int { return len(ls.labels) }
+
+// Labels returns a copy of the labels in canonical (name-sorted) order.
+func (ls LabelSet) Labels() []Label {
+	out := make([]Label, len(ls.labels))
+	copy(out, ls.labels)
+	return out
+}
+
+// Get returns the value of the named label and whether it is present.
+func (ls LabelSet) Get(name string) (string, bool) {
+	// Canonical order is sorted by name; label sets are small (≤
+	// MaxLabels), so a binary search keeps Matches cheap without any
+	// map allocation.
+	i := sort.Search(len(ls.labels), func(i int) bool { return ls.labels[i].Name >= name })
+	if i < len(ls.labels) && ls.labels[i].Name == name {
+		return ls.labels[i].Value, true
+	}
+	return "", false
+}

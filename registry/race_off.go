@@ -1,0 +1,8 @@
+//go:build !race
+
+package registry
+
+// raceEnabled reports whether the race detector is compiled in; the
+// adversarial-cardinality test scales its stream down under it (the
+// detector multiplies the cost of every sketch operation by ~10×).
+const raceEnabled = false

@@ -1,0 +1,457 @@
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// ErrInvalidKey is returned when an operation is given the zero
+// LabelSet, which is not a valid series key.
+var ErrInvalidKey = errors.New("registry: zero label set is not a valid series key")
+
+// entryOverhead is the estimated fixed per-series bookkeeping cost in
+// bytes beyond the sketch itself: the entry struct, its list element,
+// and a map bucket share. SizeBytes adds it (plus the key length) per
+// live series so the reported footprint tracks cardinality, not just
+// bucket counts.
+const entryOverhead = 160
+
+// entry is one live keyed series: its identity and its sketch, linked
+// into the owning segment's recency list.
+type entry struct {
+	labels LabelSet
+	sk     ddsketch.Sketch
+	elem   *list.Element
+}
+
+// segment is one lock-striped shard of a SketchMap: a map of live
+// entries with a write-recency list, the segment's share of the
+// admission sketch, and its overflow sketch. All fields are guarded by
+// mu; per-key sketches are only touched under it, so the template can
+// produce plain (non-concurrent) sketches.
+type segment struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      *list.List // front = most recently written
+	overflow ddsketch.Sketch
+	cm       *countMin
+	observed int // admission updates since the last decay
+}
+
+// SketchMap is a concurrent, memory-bounded map from label sets to
+// quantile sketches — the keyed aggregation registry described in the
+// package comment. Keys are spread across power-of-two lock-striped
+// segments by a hash of their canonical encoding; each per-key sketch
+// is built from the shared option template given to New, so keyed
+// sketches compose with mappings, bin bounds, and uniform collapse
+// exactly like standalone ones.
+//
+// A SketchMap is safe for concurrent use.
+type SketchMap struct {
+	cfg       config
+	newSketch func() (ddsketch.Sketch, error)
+	segs      []*segment
+	segMask   uint64
+
+	live       atomic.Int64  // live entries across all segments
+	admitted   atomic.Uint64 // keys ever promoted to their own sketch
+	evicted    atomic.Uint64 // keys folded back into overflow by the budget
+	overflowed atomic.Uint64 // pre-admission value insertions routed to overflow
+}
+
+// New builds a SketchMap from the given options (see Option). The
+// sketch template is validated eagerly: a template NewSketch rejects is
+// reported here, not on first Add.
+func New(opts ...Option) (*SketchMap, error) {
+	cfg := defaultRegistryConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	newSketch := func() (ddsketch.Sketch, error) { return ddsketch.NewSketch(cfg.template...) }
+	if _, err := newSketch(); err != nil {
+		return nil, fmt.Errorf("%w: sketch template: %v", ErrInvalidOption, err)
+	}
+	m := &SketchMap{
+		cfg:       cfg,
+		newSketch: newSketch,
+		segs:      make([]*segment, cfg.segments),
+		segMask:   uint64(cfg.segments - 1),
+	}
+	for i := range m.segs {
+		overflow, err := newSketch()
+		if err != nil {
+			return nil, err
+		}
+		m.segs[i] = &segment{
+			entries:  make(map[string]*entry),
+			lru:      list.New(),
+			overflow: overflow,
+			cm:       newCountMin(cfg.cmDepth, cfg.cmWidth),
+		}
+	}
+	return m, nil
+}
+
+// segmentFor picks the segment owning the given key hash.
+func (m *SketchMap) segmentFor(hash uint64) *segment { return m.segs[hash&m.segMask] }
+
+// Add records value under the series ls.
+func (m *SketchMap) Add(ls LabelSet, value float64) error {
+	return m.AddWithCount(ls, value, 1)
+}
+
+// AddWithCount records value with the given positive weight under ls.
+func (m *SketchMap) AddWithCount(ls LabelSet, value, count float64) error {
+	if ls.IsZero() {
+		return ErrInvalidKey
+	}
+	if !(count > 0) {
+		return ddsketch.ErrNegativeCount
+	}
+	key := ls.String()
+	hash := fnv1a64(key)
+	seg := m.segmentFor(hash)
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if e, ok := seg.entries[key]; ok {
+		seg.lru.MoveToFront(e.elem)
+		return e.sk.AddWithCount(value, count)
+	}
+	if !m.admitLocked(seg, hash, count) {
+		m.overflowed.Add(1)
+		return seg.overflow.AddWithCount(value, count)
+	}
+	sk, err := m.newSketch()
+	if err != nil {
+		return err
+	}
+	addErr := sk.AddWithCount(value, count)
+	if addErr != nil {
+		// Nothing was recorded; don't install an empty series for a
+		// value the sketch rejected.
+		return addErr
+	}
+	return m.installLocked(seg, key, ls, sk)
+}
+
+// AddBatch records every value in order under ls, with the same
+// stop-at-first-error prefix semantics as Sketch.AddBatch. The whole
+// batch counts as one write for recency and admission purposes, so a
+// cold series flushing a large buffer can clear the admission threshold
+// in one call.
+func (m *SketchMap) AddBatch(ls LabelSet, values []float64) error {
+	return m.AddBatchWithCount(ls, values, 1)
+}
+
+// AddBatchWithCount is AddBatch with every value carrying the given
+// positive weight.
+func (m *SketchMap) AddBatchWithCount(ls LabelSet, values []float64, count float64) error {
+	if ls.IsZero() {
+		return ErrInvalidKey
+	}
+	if !(count > 0) {
+		return ddsketch.ErrNegativeCount
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	key := ls.String()
+	hash := fnv1a64(key)
+	seg := m.segmentFor(hash)
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if e, ok := seg.entries[key]; ok {
+		seg.lru.MoveToFront(e.elem)
+		return e.sk.AddBatchWithCount(values, count)
+	}
+	if !m.admitLocked(seg, hash, count*float64(len(values))) {
+		m.overflowed.Add(uint64(len(values)))
+		return seg.overflow.AddBatchWithCount(values, count)
+	}
+	sk, err := m.newSketch()
+	if err != nil {
+		return err
+	}
+	batchErr := sk.AddBatchWithCount(values, count)
+	if sk.IsEmpty() {
+		// The batch failed on its first value: no prefix to keep, no
+		// series to install.
+		return batchErr
+	}
+	if err := m.installLocked(seg, key, ls, sk); err != nil {
+		return err
+	}
+	return batchErr
+}
+
+// admitLocked updates the segment's admission state with one
+// observation of the given weight and reports whether the key has
+// earned its own sketch. A threshold ≤ 0 disables gating entirely (no
+// admission state is touched).
+func (m *SketchMap) admitLocked(seg *segment, hash uint64, weight float64) bool {
+	if m.cfg.threshold <= 0 {
+		return true
+	}
+	est := seg.cm.addAndEstimate(hash, weight)
+	if m.cfg.decayEvery > 0 {
+		if seg.observed++; seg.observed >= m.cfg.decayEvery {
+			seg.cm.halve()
+			seg.observed = 0
+		}
+	}
+	return est >= m.cfg.threshold
+}
+
+// installLocked registers a freshly admitted series (its sketch already
+// holding the triggering data, so evicting it straight back out loses
+// nothing) and enforces the sketch budget.
+func (m *SketchMap) installLocked(seg *segment, key string, ls LabelSet, sk ddsketch.Sketch) error {
+	e := &entry{labels: ls, sk: sk}
+	e.elem = seg.lru.PushFront(e)
+	seg.entries[key] = e
+	m.admitted.Add(1)
+	if int(m.live.Add(1)) <= m.cfg.maxSketches {
+		return nil
+	}
+	return m.evictLocked(seg)
+}
+
+// evictLocked folds the segment's least-recently-written series into
+// its overflow sketch — an exact merge (§2.3), so the data keeps
+// counting toward every roll-up that includes overflow; only its
+// per-key granularity is gone — and frees the slot.
+func (m *SketchMap) evictLocked(seg *segment) error {
+	back := seg.lru.Back()
+	if back == nil {
+		return nil
+	}
+	victim := back.Value.(*entry)
+	seg.lru.Remove(back)
+	delete(seg.entries, victim.labels.String())
+	m.live.Add(-1)
+	m.evicted.Add(1)
+	if victim.sk.IsEmpty() {
+		return nil
+	}
+	return seg.overflow.MergeWith(victim.sk.Snapshot())
+}
+
+// Get returns an independent snapshot of the named series' sketch, or
+// false if the series is not live (never admitted, or evicted — its
+// data, if any, is in the overflow sketch). Reads do not refresh the
+// series' eviction recency; only writes do.
+func (m *SketchMap) Get(ls LabelSet) (*ddsketch.DDSketch, bool) {
+	if ls.IsZero() {
+		return nil, false
+	}
+	key := ls.String()
+	seg := m.segmentFor(fnv1a64(key))
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	e, ok := seg.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return e.sk.Snapshot(), true
+}
+
+// Overflow returns a merged snapshot of the overflow sketches: all
+// pre-admission values plus every evicted series. It answers like any
+// other sketch (and is empty when gating and the budget never fired).
+func (m *SketchMap) Overflow() (*ddsketch.DDSketch, error) {
+	var acc *ddsketch.DDSketch
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		if !seg.overflow.IsEmpty() {
+			snap := seg.overflow.Snapshot()
+			if acc == nil {
+				acc = snap
+			} else if err := acc.MergeWith(snap); err != nil {
+				seg.mu.Unlock()
+				return nil, err
+			}
+		}
+		seg.mu.Unlock()
+	}
+	if acc == nil {
+		return m.emptySnapshot()
+	}
+	return acc, nil
+}
+
+// RollUp merges every live series matching f into one sketch in a
+// single pass over the registry, returning the merged sketch and the
+// number of live series that matched. The match-all filter "*"
+// additionally folds in the overflow sketch — overflowed values carry
+// no labels to match, so "*" (and only "*") still accounts for them,
+// which is what makes RollUp(MatchAll()) equivalent to a single
+// unkeyed sketch over the whole stream. The result is independent of
+// the registry and may be queried, merged, or encoded freely.
+func (m *SketchMap) RollUp(f Filter) (*ddsketch.DDSketch, int, error) {
+	var acc *ddsketch.DDSketch
+	matched := 0
+	merge := func(snap *ddsketch.DDSketch) error {
+		if acc == nil {
+			acc = snap
+			return nil
+		}
+		return acc.MergeWith(snap)
+	}
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		if f.MatchesAll() && !seg.overflow.IsEmpty() {
+			if err := merge(seg.overflow.Snapshot()); err != nil {
+				seg.mu.Unlock()
+				return nil, matched, err
+			}
+		}
+		for _, e := range seg.entries {
+			if !f.Matches(e.labels) {
+				continue
+			}
+			matched++
+			if e.sk.IsEmpty() {
+				continue
+			}
+			if err := merge(e.sk.Snapshot()); err != nil {
+				seg.mu.Unlock()
+				return nil, matched, err
+			}
+		}
+		seg.mu.Unlock()
+	}
+	if acc == nil {
+		empty, err := m.emptySnapshot()
+		if err != nil {
+			return nil, matched, err
+		}
+		return empty, matched, nil
+	}
+	return acc, matched, nil
+}
+
+// RollUpSummary is RollUp followed by a one-pass Summary over the
+// merged sketch: count, sum, min, max, avg, and the requested quantiles
+// of everything matching f. It returns ddsketch.ErrEmptySketch when
+// nothing matched (or the matching series hold no data).
+func (m *SketchMap) RollUpSummary(f Filter, qs ...float64) (ddsketch.Summary, int, error) {
+	sketch, matched, err := m.RollUp(f)
+	if err != nil {
+		return ddsketch.Summary{}, matched, err
+	}
+	summary, err := sketch.Summary(qs...)
+	return summary, matched, err
+}
+
+// emptySnapshot builds an empty plain sketch from the template, the
+// shape roll-ups with no matches return.
+func (m *SketchMap) emptySnapshot() (*ddsketch.DDSketch, error) {
+	sk, err := m.newSketch()
+	if err != nil {
+		return nil, err
+	}
+	return sk.Snapshot(), nil
+}
+
+// Stats is a point-in-time view of the registry's counters and
+// footprint.
+type Stats struct {
+	// LiveKeys is the number of series currently holding their own
+	// sketch; it never exceeds MaxSketches at quiescence.
+	LiveKeys int `json:"live_keys"`
+	// MaxSketches is the configured sketch budget.
+	MaxSketches int `json:"max_sketches"`
+	// Segments is the number of lock-striped segments.
+	Segments int `json:"segments"`
+	// Admitted counts keys ever promoted to their own sketch.
+	Admitted uint64 `json:"admitted"`
+	// Evicted counts budget evictions (each an exact merge into
+	// overflow).
+	Evicted uint64 `json:"evicted"`
+	// OverflowedValues counts pre-admission value insertions routed to
+	// overflow by the admission gate.
+	OverflowedValues uint64 `json:"overflowed_values"`
+	// OverflowWeight is the total weight currently held by the overflow
+	// sketches (pre-admission values plus evicted series).
+	OverflowWeight float64 `json:"overflow_weight"`
+	// SizeBytes estimates the registry's total in-memory footprint:
+	// per-key sketches, overflow sketches, admission sketches, and
+	// per-series bookkeeping, summed over segments.
+	SizeBytes int `json:"size_bytes"`
+}
+
+// LiveKeys returns the number of series currently holding their own
+// sketch.
+func (m *SketchMap) LiveKeys() int { return int(m.live.Load()) }
+
+// SizeBytes estimates the registry's total in-memory footprint in
+// bytes, summed over segments. See Stats.SizeBytes.
+func (m *SketchMap) SizeBytes() int {
+	total := 0
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		total += seg.cm.sizeBytes() + sketchSizeBytes(seg.overflow)
+		for key, e := range seg.entries {
+			total += sketchSizeBytes(e.sk) + len(key) + entryOverhead
+		}
+		seg.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns the registry's counters and estimated footprint.
+func (m *SketchMap) Stats() Stats {
+	stats := Stats{
+		LiveKeys:         m.LiveKeys(),
+		MaxSketches:      m.cfg.maxSketches,
+		Segments:         len(m.segs),
+		Admitted:         m.admitted.Load(),
+		Evicted:          m.evicted.Load(),
+		OverflowedValues: m.overflowed.Load(),
+	}
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		stats.OverflowWeight += seg.overflow.Count()
+		stats.SizeBytes += seg.cm.sizeBytes() + sketchSizeBytes(seg.overflow)
+		for key, e := range seg.entries {
+			stats.SizeBytes += sketchSizeBytes(e.sk) + len(key) + entryOverhead
+		}
+		seg.mu.Unlock()
+	}
+	return stats
+}
+
+// Clear empties the registry — all series, overflow sketches, admission
+// state, and counters — keeping its configuration.
+func (m *SketchMap) Clear() {
+	for _, seg := range m.segs {
+		seg.mu.Lock()
+		m.live.Add(-int64(len(seg.entries)))
+		seg.entries = make(map[string]*entry)
+		seg.lru.Init()
+		seg.overflow.Clear()
+		seg.cm.reset()
+		seg.observed = 0
+		seg.mu.Unlock()
+	}
+	m.admitted.Store(0)
+	m.evicted.Store(0)
+	m.overflowed.Store(0)
+}
+
+// sketchSizeBytes estimates a sketch's footprint: every variant with a
+// native SizeBytes reports directly; anything else is measured through
+// a snapshot.
+func sketchSizeBytes(sk ddsketch.Sketch) int {
+	if s, ok := sk.(interface{ SizeBytes() int }); ok {
+		return s.SizeBytes()
+	}
+	return sk.Snapshot().SizeBytes()
+}
