@@ -14,7 +14,8 @@
 // Text mode prints the same rows/series the paper plots, as aligned
 // text tables. JSON mode runs the fixed performance sweep (ns/op for
 // add, batch-add and merge, bins, sketch bytes, and relative error, per
-// dataset × mapping), writes it to -out, and, when -baseline is given,
+// dataset × mapping, plus per-wire-format encode/decode cost and
+// payload size in the codec cells), writes it to -out, and, when -baseline is given,
 // compares against it: the process exits 1 if any add-path timing
 // regresses by more than -tolerance (calibration-scaled across
 // machines) or any relative error exceeds the α guarantee.

@@ -19,7 +19,14 @@
 //
 // Endpoints:
 //
-//	POST /ingest          body: binary sketch (ddsketch.Encode output)
+//	POST /ingest          body: binary sketch in any registered wire
+//	                      format (native ddsketch.Encode output, or the
+//	                      DataDog sketches-go protobuf format). The codec
+//	                      is picked from Content-Type when it names a
+//	                      registered type (application/x-ddsketch,
+//	                      application/x-protobuf); unknown explicit types
+//	                      get 415; generic/absent types fall back to
+//	                      -wire-format (default auto-sniff)
 //	POST /values          body: whitespace-separated raw values;
 //	                      ?key=service=api,endpoint=/login (or a first
 //	                      body line "key=...") routes the batch to the
@@ -63,6 +70,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", cfg.shards, "ingest shard count (0 = auto from GOMAXPROCS)")
 	flag.DurationVar(&cfg.interval, "window", cfg.interval, "duration of one aggregation window")
 	flag.IntVar(&cfg.windows, "windows", cfg.windows, "number of retained windows")
+	flag.StringVar(&cfg.wireFormat, "wire-format", cfg.wireFormat,
+		"ingest format when Content-Type is absent or generic: auto (sniff), or a codec name ("+codecNames()+")")
 	flag.IntVar(&cfg.registrySketches, "registry-sketches", cfg.registrySketches,
 		"per-key sketch budget of the keyed registry (LRU-evicts into overflow beyond this)")
 	flag.Float64Var(&cfg.registryAdmission, "registry-admission", cfg.registryAdmission,

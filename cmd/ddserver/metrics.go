@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 )
 
@@ -22,6 +23,22 @@ func promMetric(b *strings.Builder, name, kind, help string, value float64) {
 	fmt.Fprintf(b, "%s %g\n", name, value)
 }
 
+// promMetricLabeled appends one HELP/TYPE header followed by one sample
+// per value of a single label dimension, in sorted label order so the
+// exposition is deterministic.
+func promMetricLabeled(b *strings.Builder, name, kind, help, label string, samples map[string]float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s{%s=%q} %g\n", name, label, k, samples[k])
+	}
+}
+
 // handleMetrics answers GET /metrics with a Prometheus-format scrape of
 // the service: ingest counters for all three planes (encoded sketches,
 // unkeyed raw values, keyed raw values), the aggregate's population and
@@ -38,6 +55,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promMetric(&b, "ddserver_sketches_ingested_total", "counter",
 		"Encoded sketches merged via POST /ingest.",
 		float64(s.sketchesIngested.Load()))
+	ingestFormats := make(map[string]float64, len(s.ingestByFormat))
+	for name, c := range s.ingestByFormat {
+		ingestFormats[name] = float64(c.Load())
+	}
+	promMetricLabeled(&b, "ddserver_sketches_ingested_format_total", "counter",
+		"Encoded sketches merged via POST /ingest, by negotiated wire format.",
+		"format", ingestFormats)
 	promMetric(&b, "ddserver_values_ingested_total", "counter",
 		"Raw values accepted into the unkeyed aggregate via POST /values.",
 		float64(s.valuesIngested.Load()))

@@ -32,6 +32,7 @@ type config struct {
 	shards      int           // shard count for the live ingest layer (0 = auto)
 	interval    time.Duration // duration of one aggregation window
 	windows     int           // number of retained windows
+	wireFormat  string        // ingest format when Content-Type is absent/generic: auto, or a codec name
 
 	// Keyed (per-series) aggregation: the registry budget and
 	// admission threshold of the SketchMap behind POST /values?key=…
@@ -51,6 +52,7 @@ func defaultConfig() config {
 		shards:            0,
 		interval:          10 * time.Second,
 		windows:           6,
+		wireFormat:        "auto",
 		registrySketches:  10_000,
 		registryAdmission: 1,
 		now:               time.Now,
@@ -104,12 +106,25 @@ type server struct {
 	sketchesIngested atomic.Int64
 	valuesIngested   atomic.Int64
 	keyedIngested    atomic.Int64
-	started          time.Time
+
+	// ingestByFormat splits sketchesIngested by the wire format each
+	// payload arrived in, one pre-allocated counter per registered codec
+	// so the hot path stays lock-free.
+	ingestByFormat map[string]*atomic.Int64
+
+	started time.Time
 }
 
 func newServer(cfg config) (*server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
+	}
+	if cfg.wireFormat == "" {
+		cfg.wireFormat = "auto"
+	}
+	if cfg.wireFormat != "auto" && ddsketch.CodecByName(cfg.wireFormat) == nil {
+		return nil, fmt.Errorf("unknown wire format %q (want auto or one of: %s)",
+			cfg.wireFormat, codecNames())
 	}
 	m, err := cfg.newMapping()
 	if err != nil {
@@ -148,6 +163,10 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	ingestByFormat := make(map[string]*atomic.Int64)
+	for _, c := range ddsketch.Codecs() {
+		ingestByFormat[c.Name()] = new(atomic.Int64)
+	}
 	return &server{
 		cfg: cfg,
 		agg: agg,
@@ -155,9 +174,21 @@ func newServer(cfg config) (*server, error) {
 		// Read the bound off the sketch's own mapping (via an empty
 		// snapshot) so pre-validation can never desync from what the
 		// sketch actually rejects.
-		maxIndexable: agg.Snapshot().IndexMapping().MaxIndexableValue(),
-		started:      cfg.now(),
+		maxIndexable:   agg.Snapshot().IndexMapping().MaxIndexableValue(),
+		ingestByFormat: ingestByFormat,
+		started:        cfg.now(),
 	}, nil
+}
+
+// codecNames renders the registered codec names for error messages and
+// flag help.
+func codecNames() string {
+	all := ddsketch.Codecs()
+	names := make([]string, len(all))
+	for i, c := range all {
+		names[i] = c.Name()
+	}
+	return strings.Join(names, ", ")
 }
 
 // runDrainLoop drains the sharded layer into the current time window on
@@ -228,14 +259,32 @@ func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
 	return body, true
 }
 
-// handleIngest accepts a binary-encoded sketch (the output of Encode on
-// an agent) and merges it into the live layer.
+// handleIngest accepts a binary-encoded sketch (the output of Encode or
+// EncodeAs on an agent, in any registered wire format) and merges it
+// into the live layer.
+//
+// The codec is negotiated from the request's Content-Type: a registered
+// media type (application/x-ddsketch, application/x-protobuf) selects
+// its codec directly, an explicit but unrecognized type is refused with
+// 415 Unsupported Media Type, and an absent or generic client-default
+// type falls back to the -wire-format setting — "auto" (the default)
+// sniffs the payload's leading bytes, a codec name pins the format.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
 	}
-	if err := s.agg.DecodeAndMergeWith(body); err != nil {
+	codec, status, err := s.ingestCodec(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	sketch, err := codec.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.agg.MergeWith(sketch); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ddsketch.ErrIncompatibleSketches) {
 			status = http.StatusConflict
@@ -244,7 +293,40 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sketchesIngested.Add(1)
+	if c := s.ingestByFormat[codec.Name()]; c != nil {
+		c.Add(1)
+	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// ingestCodec resolves the codec an ingest payload should be decoded
+// with, returning the HTTP status to respond with when resolution
+// fails. Content-Type wins when it names a registered codec; types
+// that HTTP clients send by default when the caller expressed no
+// choice (curl -d, http.Post with octet-stream, and the like) defer to
+// the configured -wire-format instead of being rejected.
+func (s *server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, int, error) {
+	if c := ddsketch.CodecByContentType(contentType); c != nil {
+		return c, 0, nil
+	}
+	mediaType, _, _ := strings.Cut(contentType, ";")
+	switch strings.ToLower(strings.TrimSpace(mediaType)) {
+	case "", "application/octet-stream", "application/x-www-form-urlencoded", "text/plain":
+		// Client defaults carry no format intent; use the configured one.
+	default:
+		return nil, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q (known: application/x-ddsketch, application/x-protobuf, or omit for -wire-format=%s)",
+				contentType, s.cfg.wireFormat)
+	}
+	if s.cfg.wireFormat == "auto" {
+		c, err := ddsketch.DetectCodec(body)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return c, 0, nil
+	}
+	// Validated at startup, so this lookup cannot fail.
+	return ddsketch.CodecByName(s.cfg.wireFormat), 0, nil
 }
 
 // handleValues accepts whitespace-separated raw values, for clients too
@@ -482,6 +564,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if mappingName == "" {
 		mappingName = "log"
 	}
+	ingestFormats := make(map[string]int64, len(s.ingestByFormat))
+	for name, c := range s.ingestByFormat {
+		ingestFormats[name] = c.Load()
+	}
 	stats := map[string]any{
 		"relative_accuracy": s.agg.RelativeAccuracy(),
 		"collapse_mode":     collapseMode,
@@ -489,7 +575,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shards":            s.agg.NumShards(),
 		"window_interval":   s.cfg.interval.String(),
 		"windows":           s.agg.Windows(),
+		"wire_format":       s.cfg.wireFormat,
 		"sketches_ingested": s.sketchesIngested.Load(),
+		"ingest_formats":    ingestFormats,
 		"values_ingested":   s.valuesIngested.Load(),
 		"keyed_ingested":    s.keyedIngested.Load(),
 		"registry":          s.reg.Stats(),

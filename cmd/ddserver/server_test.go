@@ -822,6 +822,9 @@ func TestServerMetrics(t *testing.T) {
 			continue
 		}
 		name := strings.Fields(line)[0]
+		if brace := strings.IndexByte(name, '{'); brace >= 0 {
+			name = name[:brace] // labeled sample; headers carry the bare name
+		}
 		if !strings.Contains(body, "# HELP "+name+" ") || !strings.Contains(body, "# TYPE "+name+" ") {
 			t.Errorf("metric %s lacks HELP/TYPE headers", name)
 		}
@@ -834,5 +837,169 @@ func TestServerMetrics(t *testing.T) {
 	postResp.Body.Close()
 	if postResp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /metrics: status %d, want 405", postResp.StatusCode)
+	}
+}
+
+// TestServerIngestWireFormats: POST /ingest negotiates the codec from
+// Content-Type — registered types pick their codec, unknown explicit
+// types get 415, generic types fall back to auto-sniffing — and the
+// per-format counters on /stats and /metrics attribute each accepted
+// payload to the codec that decoded it.
+func TestServerIngestWireFormats(t *testing.T) {
+	ts, _, cfg := newTestServer(t)
+
+	agent, err := ddsketch.New(cfg.alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := agent.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	native := agent.Encode()
+	datadog, err := agent.EncodeAs("datadog")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(t *testing.T, contentType string, payload []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/ingest", contentType, bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Explicit registered Content-Types, including one with parameters.
+	if got := post(t, "application/x-ddsketch", native); got != http.StatusAccepted {
+		t.Errorf("native Content-Type: status %d, want 202", got)
+	}
+	if got := post(t, "application/x-protobuf", datadog); got != http.StatusAccepted {
+		t.Errorf("datadog Content-Type: status %d, want 202", got)
+	}
+	if got := post(t, "Application/X-Protobuf; charset=utf-8", datadog); got != http.StatusAccepted {
+		t.Errorf("datadog Content-Type with params: status %d, want 202", got)
+	}
+
+	// Generic types auto-sniff under the default -wire-format=auto.
+	if got := post(t, "application/octet-stream", datadog); got != http.StatusAccepted {
+		t.Errorf("sniffed datadog: status %d, want 202", got)
+	}
+	if got := post(t, "", native); got != http.StatusAccepted {
+		t.Errorf("sniffed native (no Content-Type): status %d, want 202", got)
+	}
+
+	// An explicit type the server does not speak is refused up front.
+	if got := post(t, "application/json", native); got != http.StatusUnsupportedMediaType {
+		t.Errorf("unknown Content-Type: status %d, want 415", got)
+	}
+
+	// A payload whose bytes match a registered type's codec but arrive
+	// under the other registered type fails in that codec's decoder.
+	if got := post(t, "application/x-ddsketch", datadog); got != http.StatusBadRequest {
+		t.Errorf("datadog bytes as native type: status %d, want 400", got)
+	}
+
+	// All five accepted sketches merged: count is 5×100.
+	out := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := out["count"].(float64); got != 500 {
+		t.Errorf("count = %g, want 500", got)
+	}
+	if got := out["sketches_ingested"].(float64); got != 5 {
+		t.Errorf("sketches_ingested = %g, want 5", got)
+	}
+	if got := out["wire_format"].(string); got != "auto" {
+		t.Errorf("wire_format = %q, want auto", got)
+	}
+	formats := out["ingest_formats"].(map[string]any)
+	if got := formats["native"].(float64); got != 2 {
+		t.Errorf("ingest_formats.native = %g, want 2", got)
+	}
+	if got := formats["datadog"].(float64); got != 3 {
+		t.Errorf("ingest_formats.datadog = %g, want 3", got)
+	}
+
+	// The same split appears as a labeled Prometheus counter.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`ddserver_sketches_ingested_format_total{format="datadog"} 3`,
+		`ddserver_sketches_ingested_format_total{format="native"} 2`,
+	} {
+		if !strings.Contains(string(raw), want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerWireFormatFlag: -wire-format pins the codec used for
+// payloads without a format-bearing Content-Type, instead of sniffing.
+func TestServerWireFormatFlag(t *testing.T) {
+	clock := newTestClock()
+	cfg := defaultConfig()
+	cfg.now = clock.Now
+	cfg.wireFormat = "datadog"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	agent, err := ddsketch.New(cfg.alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = agent.Add(1)
+	datadog, err := agent.EncodeAs("datadog")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generic Content-Type decodes with the pinned codec.
+	resp, err := http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(datadog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("pinned datadog ingest: status %d, want 202", resp.StatusCode)
+	}
+
+	// Native bytes under a generic type now fail the pinned decoder...
+	resp, err = http.Post(ts.URL+"/ingest", "application/octet-stream", bytes.NewReader(agent.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("native bytes under pinned datadog: status %d, want 400", resp.StatusCode)
+	}
+
+	// ...but an explicit registered Content-Type still overrides the pin.
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ddsketch", bytes.NewReader(agent.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("explicit native under pinned datadog: status %d, want 202", resp.StatusCode)
+	}
+
+	// An unknown format name is a startup error, not a silent fallback.
+	bad := defaultConfig()
+	bad.wireFormat = "msgpack"
+	if _, err := newServer(bad); err == nil {
+		t.Error("newServer accepted -wire-format=msgpack")
 	}
 }

@@ -1,0 +1,173 @@
+package ddsketch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// A Codec is one wire format a sketch can be serialized to and
+// reconstructed from. Two codecs ship with the package:
+//
+//   - NativeCodec: this module's self-describing binary format
+//     (versions 1 and 2, magic "DDS"), the format Encode/Decode have
+//     always spoken. Lossless: mapping, store types, collapse lineage,
+//     bucket counts, and the exact min/max/sum statistics all
+//     round-trip.
+//   - DataDogCodec: the proto3 schema defined by DataDog's reference
+//     implementation (sketches-go), the de-facto public interchange
+//     format real DataDog agents emit. Bucket counts round-trip
+//     exactly; store types, collapse lineage, and the exact statistics
+//     do not (see codec_datadog.go and docs/WIRE_FORMAT.md for the
+//     precise lossiness rules).
+//
+// Both formats are specified byte-by-byte in docs/WIRE_FORMAT.md, with
+// hex examples pinned to the code by TestWireFormatDocExamples.
+//
+// Codecs are consulted in registration order by Decode and
+// DecodeAndMergeWith, which auto-detect the format through Sniff; the
+// ddserver ingest path additionally negotiates on the HTTP
+// Content-Type using ContentType.
+type Codec interface {
+	// Name is the codec's short selector ("native", "datadog"), used
+	// by EncodeAs and command-line flags.
+	Name() string
+
+	// ContentType is the MIME media type the codec answers to in HTTP
+	// content negotiation.
+	ContentType() string
+
+	// Sniff reports whether data plausibly starts a payload of this
+	// codec's format. Sniffing inspects only leading bytes — a true
+	// return does not promise Decode will succeed, only that the
+	// payload is this codec's to reject.
+	Sniff(data []byte) bool
+
+	// Encode serializes the sketch in this codec's wire format.
+	Encode(s *DDSketch) ([]byte, error)
+
+	// Decode reconstructs a sketch from this codec's wire format.
+	// Malformed or hostile input fails with an error wrapping
+	// ErrInvalidEncoding (or ErrUnsupportedVersion), never a panic.
+	Decode(data []byte) (*DDSketch, error)
+}
+
+// ErrUnknownCodec is returned by EncodeAs (and codec lookups) for a
+// format name no registered codec answers to.
+var ErrUnknownCodec = errors.New("ddsketch: unknown codec")
+
+// codecs holds the registered codecs in registration (and therefore
+// sniffing) order. The two built-in codecs have disjoint sniffs: a
+// native payload always starts with the magic 'D' (0x44), which is not
+// a valid leading proto3 tag of the DataDog schema.
+var codecs = []Codec{NativeCodec, DataDogCodec}
+
+// RegisterCodec adds a codec to the registry consulted by Decode,
+// DecodeAndMergeWith, and DetectCodec. Registration is not safe for
+// concurrent use with decoding; register custom codecs during program
+// initialization. The codec's name and content type must not collide
+// with an already-registered codec's.
+func RegisterCodec(c Codec) error {
+	for _, existing := range codecs {
+		if existing.Name() == c.Name() {
+			return fmt.Errorf("ddsketch: codec %q already registered", c.Name())
+		}
+		if existing.ContentType() == c.ContentType() {
+			return fmt.Errorf("ddsketch: content type %q already registered (codec %q)",
+				c.ContentType(), existing.Name())
+		}
+	}
+	codecs = append(codecs, c)
+	return nil
+}
+
+// Codecs returns the registered codecs in sniffing order. The returned
+// slice is a copy; mutating it does not affect the registry.
+func Codecs() []Codec {
+	return append([]Codec(nil), codecs...)
+}
+
+// CodecByName returns the registered codec with the given name, or nil
+// if none has it.
+func CodecByName(name string) Codec {
+	for _, c := range codecs {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// CodecByContentType returns the registered codec answering to the
+// given MIME media type, ignoring any parameters ("; charset=..."),
+// or nil if none does.
+func CodecByContentType(contentType string) Codec {
+	mediaType, _, _ := strings.Cut(contentType, ";")
+	mediaType = strings.ToLower(strings.TrimSpace(mediaType))
+	for _, c := range codecs {
+		if c.ContentType() == mediaType {
+			return c
+		}
+	}
+	return nil
+}
+
+// DetectCodec returns the first registered codec whose Sniff accepts
+// data. When no codec recognizes the leading bytes, it returns an
+// error wrapping ErrInvalidEncoding that names the candidates that
+// were consulted, so a caller shipping the wrong format gets a
+// diagnosable rejection instead of a bare "bad magic".
+func DetectCodec(data []byte) (Codec, error) {
+	for _, c := range codecs {
+		if c.Sniff(data) {
+			return c, nil
+		}
+	}
+	names := make([]string, len(codecs))
+	for i, c := range codecs {
+		names[i] = c.Name()
+	}
+	prefix := data
+	if len(prefix) > 8 {
+		prefix = prefix[:8]
+	}
+	return nil, fmt.Errorf("%w: leading bytes [% x] match no registered codec (candidates: %s)",
+		ErrInvalidEncoding, prefix, strings.Join(names, ", "))
+}
+
+// EncodeAs serializes the sketch in the named codec's wire format:
+// "native" for this module's lossless binary format (what Encode
+// emits), "datadog" for the DataDog sketches-go proto3 interchange
+// format. It fails with ErrUnknownCodec for unregistered names.
+func (s *DDSketch) EncodeAs(format string) ([]byte, error) {
+	c := CodecByName(format)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCodec, format)
+	}
+	return c.Encode(s)
+}
+
+// nativeCodec is the Codec face of the module's own binary format; the
+// encode/decode implementations live in serialize.go.
+type nativeCodec struct{}
+
+// NativeCodec is the module's self-describing binary format (magic
+// "DDS", versions 1 and 2). It is the default and only lossless codec:
+// mapping, store types, uniform-collapse lineage, bucket counts, and
+// the exact statistics all round-trip bit-compatibly.
+var NativeCodec Codec = nativeCodec{}
+
+func (nativeCodec) Name() string        { return "native" }
+func (nativeCodec) ContentType() string { return "application/x-ddsketch" }
+
+// Sniff accepts payloads opening with the native magic "DDS".
+func (nativeCodec) Sniff(data []byte) bool {
+	return len(data) >= len(serializationMagic) &&
+		data[0] == serializationMagic[0] &&
+		data[1] == serializationMagic[1] &&
+		data[2] == serializationMagic[2]
+}
+
+func (nativeCodec) Encode(s *DDSketch) ([]byte, error) { return s.Encode(), nil }
+
+func (nativeCodec) Decode(data []byte) (*DDSketch, error) { return decodeNative(data) }

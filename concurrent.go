@@ -178,6 +178,11 @@ func (c *Concurrent) Encode() []byte {
 	return c.sketch.Encode()
 }
 
+// EncodeAs serializes a consistent snapshot in the named wire format.
+func (c *Concurrent) EncodeAs(format string) ([]byte, error) {
+	return c.Snapshot().EncodeAs(format)
+}
+
 // Clear empties the wrapped sketch, keeping its configuration and
 // allocated capacity.
 func (c *Concurrent) Clear() {

@@ -68,6 +68,41 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("DDS"))             // magic only
 	f.Add([]byte{'D', 'D', 'S', 99}) // unsupported version
 
+	// DataDog-grammar seeds: valid proto3 payloads from the second
+	// codec, their truncations and corruptions, and hand-built hostile
+	// shapes (fields the sniffer accepts but the decoder must reject).
+	for _, newSketch := range seeds {
+		s, err := newSketch()
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 1; i <= 100; i++ {
+			_ = s.Add(float64(i) * 1.5)
+			_ = s.Add(-float64(i) / 3)
+		}
+		_ = s.Add(0)
+		data, err := s.EncodeAs("datadog")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		corrupted := append([]byte(nil), data...)
+		corrupted[len(corrupted)/3] ^= 0xff
+		f.Add(corrupted)
+	}
+	f.Add([]byte{0x0a, 0x00})                                     // empty mapping message
+	f.Add([]byte{0x21, 0, 0, 0, 0, 0, 0, 0xf0, 0x7f})             // zeroCount = +Inf, no mapping
+	f.Add([]byte{0x0a, 0x09, 0x09, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f}) // gamma = 1
+	f.Add([]byte{0x12, 0x04, 0x0a, 0x02, 0x08, 0x01})             // store before mapping, then nothing
+	f.Add([]byte{0x0a, 0xff, 0xff, 0xff, 0xff, 0x0f})             // huge declared length
+	f.Add([]byte{0x0b})                                           // group wire type
+	// Two sparse bins 2^30 apart under a valid mapping: must be
+	// rejected by the span limit, not answered with a giant DenseStore.
+	f.Add(append(append([]byte{0x0a, 0x09, 0x09, 0x78, 0x9c, 0xe5, 0x57, 0x29, 0x5c, 0xf0, 0x3f},
+		0x12, 0x10, 0x0a, 0x04, 0x08, 0x00, 0x11, 0x00),
+		0x0a, 0x08, 0x08, 0x80, 0x80, 0x80, 0x08, 0x11, 0x00, 0x00))
+
 	// Hostile-statistics seeds: structurally valid payloads whose
 	// min/max/sum/zeroCount no encoder can produce (they must be rejected,
 	// not decoded into query-poisoning sketches).
@@ -497,6 +532,115 @@ func FuzzCoarsenIndexIdentity(f *testing.F) {
 		assertBinIdentical(t, wire, local)
 		if wire.CollapseEpoch() != local.CollapseEpoch() {
 			t.Fatalf("wire merge epoch %d != local %d", wire.CollapseEpoch(), local.CollapseEpoch())
+		}
+	})
+}
+
+// FuzzCodecRoundTrip is the cross-codec interop fuzzer: for arbitrary
+// data, the native→DataDog→native round trip must preserve every bin
+// count exactly (the stores carry integer indexes and float counts,
+// both of which the proto schema represents losslessly) and answer
+// every quantile within the mapping's relative accuracy of the
+// original — the only degradation allowed is the documented loss of
+// the exact min/max/sum statistics.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(100), uint8(1), uint8(0), true)
+	f.Add(uint64(2), uint16(2000), uint8(5), uint8(1), false)
+	f.Add(uint64(3), uint16(1), uint8(2), uint8(2), true)
+	f.Add(uint64(4), uint16(50000), uint8(9), uint8(3), false)
+	f.Add(uint64(5), uint16(0), uint8(1), uint8(0), false)
+
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, alphaPct, mappingKind uint8, negatives bool) {
+		alpha := float64(alphaPct%10+1) / 100
+		var (
+			m   mapping.IndexMapping
+			err error
+		)
+		switch mappingKind % 4 {
+		case 0:
+			m, err = mapping.NewLogarithmic(alpha)
+		case 1:
+			m, err = mapping.NewLinearlyInterpolated(alpha)
+		case 2:
+			m, err = mapping.NewQuadraticallyInterpolated(alpha)
+		case 3:
+			m, err = mapping.NewCubicallyInterpolated(alpha)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ddsketch.NewWithConfig(m,
+			store.DenseStoreProvider(), store.DenseStoreProvider())
+		values := datagen.ParetoSeeded(int(n%5000)+1, seed|1)
+		for i, v := range values {
+			if negatives && i%3 == 1 {
+				v = -v
+			}
+			if i%17 == 0 {
+				v = 0
+			}
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		datadog, err := s.EncodeAs("datadog")
+		if err != nil {
+			t.Fatalf("EncodeAs(datadog): %v", err)
+		}
+		decoded, err := ddsketch.Decode(datadog)
+		if err != nil {
+			t.Fatalf("Decode(datadog payload): %v", err)
+		}
+		renative, err := ddsketch.Decode(decoded.Encode())
+		if err != nil {
+			t.Fatalf("Decode(native re-encoding): %v", err)
+		}
+
+		// Every bin count survives both hops. Representative values may
+		// drift by γ-reconstruction ulps, counts may not.
+		type bin struct{ value, count float64 }
+		collect := func(sk *ddsketch.DDSketch) []bin {
+			var bins []bin
+			sk.ForEach(func(value, count float64) bool {
+				bins = append(bins, bin{value, count})
+				return true
+			})
+			return bins
+		}
+		want, got := collect(s), collect(renative)
+		if len(got) != len(want) {
+			t.Fatalf("bin count %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].count != want[i].count {
+				t.Errorf("bin %d: count %v, want %v", i, got[i].count, want[i].count)
+			}
+			if exact.RelativeError(got[i].value, want[i].value) > 1e-9 {
+				t.Errorf("bin %d: representative %v, want %v", i, got[i].value, want[i].value)
+			}
+		}
+		if got, want := renative.Count(), s.Count(); exact.RelativeError(got, want) > 1e-12 {
+			t.Errorf("count = %v, want %v", got, want)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			want, err := s.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := renative.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == 0 {
+				if got != 0 {
+					t.Errorf("q%g = %v, want exactly 0 (zero bucket)", q, got)
+				}
+				continue
+			}
+			if exact.RelativeError(got, want) > 2*alpha {
+				t.Errorf("q%g = %v, want %v within 2α=%g", q, got, want, 2*alpha)
+			}
 		}
 	})
 }

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// Codec cells: one BenchEntry per registered wire format, measuring the
+// cost of serializing a filled sketch (whole EncodeAs call) and of
+// decoding the resulting payload back (whole Decode call, including
+// format auto-detection), plus the payload size. The cells ride the
+// heavy-tailed pareto dataset so the sketch carries a realistic bin
+// population, and use the logarithmic mapping — the mapping has no
+// effect on codec cost beyond the bin count, and the log cell keeps the
+// baseline stable as mappings evolve.
+
+// codecBenchIters is how many encode (or decode) calls one timed rep
+// loops over: a single call over even a full-size sketch finishes in
+// microseconds, below reliable timer resolution on a shared runner.
+const codecBenchIters = 100
+
+// benchCodecEntries measures one cell per registered codec over values.
+func benchCodecEntries(dataset string, values []float64) ([]BenchEntry, error) {
+	sketch, err := ddsketch.NewCollapsing(DDSketchAlpha, DDSketchMaxBins)
+	if err != nil {
+		return nil, err
+	}
+	if err := sketch.AddBatch(values); err != nil {
+		return nil, err
+	}
+	entries := make([]BenchEntry, 0, len(ddsketch.Codecs()))
+	for _, codec := range ddsketch.Codecs() {
+		entry := BenchEntry{
+			Dataset: dataset,
+			Mapping: "codec-" + codec.Name(),
+			N:       len(values),
+			Bins:    sketch.NumBins(),
+		}
+
+		// One call is microseconds — far too short to time alone — so
+		// each rep times a loop of codecBenchIters calls and the entry
+		// records the per-call cost of the fastest rep.
+		var payload []byte
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < benchReps; rep++ {
+			start := time.Now()
+			for it := 0; it < codecBenchIters; it++ {
+				payload, err = sketch.EncodeAs(codec.Name())
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if err != nil {
+				return nil, fmt.Errorf("harness: encoding %s cell: %w", codec.Name(), err)
+			}
+		}
+		entry.EncodeNsPerOp = float64(best.Nanoseconds()) / codecBenchIters
+		entry.EncodedBytes = len(payload)
+
+		var decoded *ddsketch.DDSketch
+		best = time.Duration(math.MaxInt64)
+		for rep := 0; rep < benchReps; rep++ {
+			start := time.Now()
+			for it := 0; it < codecBenchIters; it++ {
+				decoded, err = ddsketch.Decode(payload)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if err != nil {
+				return nil, fmt.Errorf("harness: decoding %s cell: %w", codec.Name(), err)
+			}
+		}
+		entry.DecodeNsPerOp = float64(best.Nanoseconds()) / codecBenchIters
+
+		// The decoded sketch must carry the original's full population —
+		// a round-trip sanity check cheap enough to run inside the sweep.
+		if got, want := decoded.Count(), sketch.Count(); math.Abs(got-want) > 1e-6*want {
+			return nil, fmt.Errorf("harness: %s round trip lost weight: %g vs %g",
+				codec.Name(), got, want)
+		}
+		entries = append(entries, entry)
+	}
+	return entries, nil
+}

@@ -26,8 +26,10 @@ import (
 // change incompatibly so stale baselines fail loudly instead of
 // comparing garbage. Version 2 added the keyed-registry cell
 // (pareto/keyed) with its live_keys / registry_bytes / rollup_ns_per_op
-// fields.
-const BenchSchemaVersion = 2
+// fields. Version 3 added one codec cell per registered wire format
+// (pareto/codec-native, pareto/codec-datadog) with encode_ns_per_op /
+// decode_ns_per_op / encoded_bytes fields.
+const BenchSchemaVersion = 3
 
 // BenchEntry is one dataset × mapping measurement.
 type BenchEntry struct {
@@ -56,6 +58,15 @@ type BenchEntry struct {
 	LiveKeys      int     `json:"live_keys,omitempty"`
 	RegistryBytes int     `json:"registry_bytes,omitempty"`
 	RollupNsPerOp float64 `json:"rollup_ns_per_op,omitempty"`
+
+	// Codec cells only (mapping "codec-<name>"): serialization cost of
+	// one registered wire format over a filled N-value sketch — whole
+	// EncodeAs/Decode calls in ns, plus the payload size. The payload is
+	// a deterministic function of the stream, so EncodedBytes doubles as
+	// a wire-format-stability check. Zero in ordinary cells.
+	EncodeNsPerOp float64 `json:"encode_ns_per_op,omitempty"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op,omitempty"`
+	EncodedBytes  int     `json:"encoded_bytes,omitempty"`
 }
 
 // BenchReport is the output of one sweep.
@@ -151,6 +162,13 @@ func RunBench(cfg Config) (BenchReport, error) {
 				return BenchReport{}, err
 			}
 			report.Entries = append(report.Entries, entry)
+			// One cell per registered codec on the same dataset, gating
+			// wire-format encode/decode cost and payload stability.
+			codecEntries, err := benchCodecEntries(dataset, values)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			report.Entries = append(report.Entries, codecEntries...)
 		}
 	}
 	return report, nil
@@ -356,8 +374,11 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 		}{
 			{"add", b.AddNsPerOp, cur.AddNsPerOp},
 			{"batch-add", b.BatchAddNsPerOp, cur.BatchAddNsPerOp},
-			// Zero in non-keyed cells, so the base>0 guard below skips it.
+			// Zero outside their own cells, so the base>0 guard below
+			// skips the keyed and codec gates elsewhere.
 			{"rollup", b.RollupNsPerOp, cur.RollupNsPerOp},
+			{"encode", b.EncodeNsPerOp, cur.EncodeNsPerOp},
+			{"decode", b.DecodeNsPerOp, cur.DecodeNsPerOp},
 		} {
 			allowed := gate.base * scale * (1 + tolerance)
 			if gate.base > 0 && gate.cur > allowed {
@@ -385,6 +406,15 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s/%s: live keys %d differ from baseline %d (admission/eviction behavior changed)",
 				cur.Dataset, cur.Mapping, cur.LiveKeys, b.LiveKeys))
+		}
+		// Codec payloads are deterministic functions of the stream, so a
+		// size drift means the wire format itself changed — which needs a
+		// deliberate baseline regeneration (and a docs/WIRE_FORMAT.md
+		// update), never a silent pass.
+		if b.EncodedBytes > 0 && cur.EncodedBytes != b.EncodedBytes {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/%s: encoded payload %d bytes differs from baseline %d (wire format changed?)",
+				cur.Dataset, cur.Mapping, cur.EncodedBytes, b.EncodedBytes))
 		}
 	}
 	// A baseline cell with no counterpart in the current report means a

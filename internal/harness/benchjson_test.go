@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/ddsketch-go/ddsketch"
 )
 
 // benchTestConfig keeps the sweep test-sized.
@@ -30,6 +32,17 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 		wantEntries++
 		if e.N != benchTestConfig.N {
 			t.Errorf("%s/%s: N = %d, want %d", e.Dataset, e.Mapping, e.N, benchTestConfig.N)
+		}
+		if strings.HasPrefix(e.Mapping, "codec-") {
+			// Codec cells time whole encode/decode calls instead of the
+			// insertion paths, and report the payload size.
+			if e.EncodeNsPerOp <= 0 || e.DecodeNsPerOp <= 0 || e.EncodedBytes <= 0 {
+				t.Errorf("%s/%s: codec cell missing measurements %+v", e.Dataset, e.Mapping, e)
+			}
+			if e.Bins <= 0 {
+				t.Errorf("%s/%s: empty sketch measured (bins %d)", e.Dataset, e.Mapping, e.Bins)
+			}
+			continue
 		}
 		if e.AddNsPerOp <= 0 || e.BatchAddNsPerOp <= 0 {
 			t.Errorf("%s/%s: non-positive timing %+v", e.Dataset, e.Mapping, e)
@@ -65,6 +78,11 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 	}
 	if !seen["pareto/keyed"] {
 		t.Error("missing keyed-registry entry pareto/keyed")
+	}
+	for _, codec := range ddsketch.Codecs() {
+		if !seen["pareto/codec-"+codec.Name()] {
+			t.Errorf("missing codec entry pareto/codec-%s", codec.Name())
+		}
 	}
 
 	var buf bytes.Buffer
@@ -235,6 +253,42 @@ func TestCompareBenchGates(t *testing.T) {
 		got = CompareBench(baseline, current, 0.25)
 		if len(got) != 1 || !strings.Contains(got[0], "live keys") {
 			t.Errorf("regressions = %v, want one live-key drift error", got)
+		}
+	})
+
+	t.Run("codec cell gates", func(t *testing.T) {
+		// Codec cells gate encode/decode latency (calibration-scaled,
+		// like the add paths) and payload size (exact: the encoding is
+		// deterministic, so any drift is a wire-format change).
+		withCodec := func() BenchReport {
+			r := benchFixture()
+			r.Entries = append(r.Entries, BenchEntry{
+				Dataset: "pareto", Mapping: "codec-datadog", N: 1000,
+				Bins: 100, EncodeNsPerOp: 10_000, DecodeNsPerOp: 20_000,
+				EncodedBytes: 1500})
+			return r
+		}
+		baseline := withCodec()
+		if got := CompareBench(baseline, withCodec(), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none on identical codec reports", got)
+		}
+		current := withCodec()
+		current.Entries[2].EncodeNsPerOp = 14_000 // +40% > 25%
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "encode") {
+			t.Errorf("regressions = %v, want one codec encode regression", got)
+		}
+		current = withCodec()
+		current.Entries[2].DecodeNsPerOp = 30_000 // +50% > 25%
+		got = CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "decode") {
+			t.Errorf("regressions = %v, want one codec decode regression", got)
+		}
+		current = withCodec()
+		current.Entries[2].EncodedBytes = 1501
+		got = CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "wire format changed") {
+			t.Errorf("regressions = %v, want one payload-size drift error", got)
 		}
 	})
 

@@ -88,10 +88,25 @@ func (s *DDSketch) Encode() []byte {
 	return w.Bytes()
 }
 
-// Decode reconstructs a sketch serialized with Encode. The returned
-// sketch has the same mapping, store types, contents, and statistics as
-// the original.
+// Decode reconstructs a sketch from any registered wire format,
+// auto-detecting the codec from the payload's leading bytes: the
+// native format (magic "DDS") decodes losslessly; a DataDog
+// sketches-go proto3 payload decodes under the documented lossiness
+// rules (see docs/WIRE_FORMAT.md). Unrecognized leading bytes fail
+// with an error wrapping ErrInvalidEncoding that names the candidate
+// codecs.
 func Decode(data []byte) (*DDSketch, error) {
+	c, err := DetectCodec(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(data)
+}
+
+// decodeNative reconstructs a sketch serialized with Encode. The
+// returned sketch has the same mapping, store types, contents, and
+// statistics as the original.
+func decodeNative(data []byte) (*DDSketch, error) {
 	r := encoding.NewReader(data)
 	for _, want := range serializationMagic {
 		got, err := r.Byte()
@@ -244,7 +259,9 @@ func Decode(data []byte) (*DDSketch, error) {
 
 // DecodeAndMergeWith decodes a serialized sketch and merges it into s in
 // one step, the common operation of an aggregation service consuming
-// sketches from many agents.
+// sketches from many agents. Like Decode, it auto-detects the wire
+// format, so a single aggregate can consume native and DataDog payloads
+// interchangeably.
 func (s *DDSketch) DecodeAndMergeWith(data []byte) error {
 	other, err := Decode(data)
 	if err != nil {

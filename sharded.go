@@ -364,6 +364,11 @@ func (s *Sharded) Clear() {
 // consumable by Decode or DecodeAndMergeWith on an aggregator.
 func (s *Sharded) Encode() []byte { return s.Snapshot().Encode() }
 
+// EncodeAs serializes a merged snapshot in the named wire format.
+func (s *Sharded) EncodeAs(format string) ([]byte, error) {
+	return s.Snapshot().EncodeAs(format)
+}
+
 // String implements fmt.Stringer.
 func (s *Sharded) String() string {
 	return fmt.Sprintf("Sharded(shards=%d, count=%g)", len(s.shards), s.Count())

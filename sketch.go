@@ -64,8 +64,12 @@ type Sketch interface {
 	// Snapshot returns a merged, deep, independent copy of the sketch's
 	// current content as a plain DDSketch.
 	Snapshot() *DDSketch
-	// Encode returns a binary serialization of a consistent snapshot.
+	// Encode returns a binary serialization of a consistent snapshot in
+	// the native wire format.
 	Encode() []byte
+	// EncodeAs serializes a consistent snapshot in the named wire
+	// format ("native", "datadog"); see the Codec registry.
+	EncodeAs(format string) ([]byte, error)
 
 	// Clear empties the sketch, keeping its configuration.
 	Clear()

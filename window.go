@@ -318,6 +318,12 @@ func (w *TimeWindowed) Avg() (float64, error) {
 // DecodeAndMergeWith on another aggregator.
 func (w *TimeWindowed) Encode() []byte { return w.Snapshot().Encode() }
 
+// EncodeAs serializes a merged snapshot of all retained intervals in
+// the named wire format.
+func (w *TimeWindowed) EncodeAs(format string) ([]byte, error) {
+	return w.Snapshot().EncodeAs(format)
+}
+
 // Clear empties every interval and restarts the current one at the
 // clock's present reading.
 func (w *TimeWindowed) Clear() {

@@ -140,6 +140,11 @@ func (ws *WindowedSharded) Snapshot() *DDSketch {
 // Encode returns a binary serialization of a merged snapshot.
 func (ws *WindowedSharded) Encode() []byte { return ws.Snapshot().Encode() }
 
+// EncodeAs serializes a merged snapshot in the named wire format.
+func (ws *WindowedSharded) EncodeAs(format string) ([]byte, error) {
+	return ws.Snapshot().EncodeAs(format)
+}
+
 // Quantile returns an α-accurate estimate of the q-quantile over all
 // retained intervals.
 func (ws *WindowedSharded) Quantile(q float64) (float64, error) {

@@ -1,0 +1,235 @@
+// TestWireFormatDocExamples pins every hex example in
+// docs/WIRE_FORMAT.md to the encoders' actual output, byte for byte.
+// The spec stays normative because CI fails the moment an example and
+// an encoder disagree — whichever of the two changed.
+//
+// Each example in the doc is introduced by an HTML comment marker
+//
+//	<!-- wire-example:NAME -->
+//
+// immediately followed by a fenced code block of hex bytes (everything
+// after '#' on a line is a comment, so examples can carry a worked
+// byte-by-byte breakdown). The marker names must match the builders
+// below exactly, in both directions: an example without a builder or a
+// builder without an example fails the test, so the doc cannot drift
+// by omission.
+//
+// To regenerate after an intentional wire-format change, run
+//
+//	WIRE_EXAMPLES_REGEN=1 go test -run TestWireFormatDocExamples -v .
+//
+// and paste the logged hex into the matching blocks (then restore the
+// breakdown comments).
+package ddsketch_test
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/ddsketch-go/ddsketch"
+)
+
+// wireExampleBuilders maps each doc marker to the deterministic
+// construction that produces its payload.
+var wireExampleBuilders = map[string]func() ([]byte, error){
+	// An empty α=1% logarithmic sketch in the native v1 format.
+	"native-empty": func() ([]byte, error) {
+		s, err := ddsketch.New(0.01)
+		if err != nil {
+			return nil, err
+		}
+		return s.Encode(), nil
+	},
+	// Three values (1, 2, 4) in the native v1 format: three positive
+	// bins with delta-encoded indexes.
+	"native-three-values": func() ([]byte, error) {
+		s, err := ddsketch.New(0.01)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []float64{1, 2, 4} {
+			if err := s.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		return s.Encode(), nil
+	},
+	// A uniform-collapse sketch that has collapsed, in the native v2
+	// format: bin budget and epoch lead, and the mapping is the *base*
+	// (epoch-0) one, re-coarsened by the decoder.
+	"native-uniform-collapsed": func() ([]byte, error) {
+		s, err := ddsketch.NewUniformCollapsing(0.01, 4)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []float64{1, 4, 16, 64} {
+			if err := s.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		if s.CollapseEpoch() == 0 {
+			return nil, fmt.Errorf("example sketch never collapsed")
+		}
+		return s.Encode(), nil
+	},
+	// The empty α=1% sketch in the DataDog format: an IndexMapping
+	// message and nothing else (empty stores and a zero zeroCount are
+	// omitted).
+	"datadog-empty": func() ([]byte, error) {
+		s, err := ddsketch.New(0.01)
+		if err != nil {
+			return nil, err
+		}
+		return s.EncodeAs("datadog")
+	},
+	// The same three values (1, 2, 4) in the DataDog format. Their bin
+	// indexes (0, 35, 69) span 70 positions for 3 bins, beyond the
+	// contiguous-encoding threshold (span ≤ 2×bins), so the store uses
+	// sparse map entries.
+	"datadog-three-values": func() ([]byte, error) {
+		s, err := ddsketch.New(0.01)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []float64{1, 2, 4} {
+			if err := s.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		return s.EncodeAs("datadog")
+	},
+	// A denser population in the DataDog format: positive values one
+	// bin apart (contiguous run), one negative value (sparse negative
+	// store), and direct zeros (zeroCount field).
+	"datadog-mixed": func() ([]byte, error) {
+		s, err := ddsketch.New(0.01)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range []float64{1, 1.021, 1.042} {
+			if err := s.AddWithCount(v, float64(i+1)); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.Add(-2); err != nil {
+			return nil, err
+		}
+		if err := s.AddWithCount(0, 5); err != nil {
+			return nil, err
+		}
+		return s.EncodeAs("datadog")
+	},
+}
+
+// wireExampleMarker matches one example marker; the following fenced
+// block is located structurally.
+var wireExampleMarker = regexp.MustCompile(`<!-- wire-example:([a-z0-9-]+) -->`)
+
+// parseWireExamples extracts NAME → payload from the doc.
+func parseWireExamples(t *testing.T, doc string) map[string][]byte {
+	t.Helper()
+	examples := make(map[string][]byte)
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		m := wireExampleMarker.FindStringSubmatch(strings.TrimSpace(lines[i]))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, dup := examples[name]; dup {
+			t.Errorf("duplicate wire-example marker %q", name)
+			continue
+		}
+		// The fenced block must open on the next non-blank line.
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || !strings.HasPrefix(strings.TrimSpace(lines[j]), "```") {
+			t.Errorf("marker %q is not followed by a fenced code block", name)
+			continue
+		}
+		var hexDigits strings.Builder
+		for j++; j < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[j]), "```"); j++ {
+			line := lines[j]
+			if cut := strings.IndexByte(line, '#'); cut >= 0 {
+				line = line[:cut]
+			}
+			for _, f := range strings.Fields(line) {
+				hexDigits.WriteString(f)
+			}
+		}
+		if j >= len(lines) {
+			t.Errorf("marker %q: unterminated code block", name)
+			continue
+		}
+		payload, err := hex.DecodeString(hexDigits.String())
+		if err != nil {
+			t.Errorf("marker %q: invalid hex: %v", name, err)
+			continue
+		}
+		examples[name] = payload
+		i = j
+	}
+	return examples
+}
+
+func TestWireFormatDocExamples(t *testing.T) {
+	if os.Getenv("WIRE_EXAMPLES_REGEN") != "" {
+		for name, build := range wireExampleBuilders {
+			payload, err := build()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var b strings.Builder
+			for i, c := range payload {
+				if i > 0 {
+					if i%16 == 0 {
+						b.WriteByte('\n')
+					} else {
+						b.WriteByte(' ')
+					}
+				}
+				fmt.Fprintf(&b, "%02x", c)
+			}
+			t.Logf("<!-- wire-example:%s -->\n```\n%s\n```", name, b.String())
+		}
+	}
+
+	raw, err := os.ReadFile("docs/WIRE_FORMAT.md")
+	if err != nil {
+		t.Fatalf("reading spec: %v", err)
+	}
+	examples := parseWireExamples(t, string(raw))
+
+	for name, build := range wireExampleBuilders {
+		t.Run(name, func(t *testing.T) {
+			want, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := examples[name]
+			if !ok {
+				t.Fatalf("docs/WIRE_FORMAT.md has no wire-example:%s block", name)
+			}
+			if !strings.EqualFold(hex.EncodeToString(got), hex.EncodeToString(want)) {
+				t.Errorf("example differs from encoder output\n doc: %x\nwant: %x", got, want)
+			}
+			// Every documented payload must also decode back.
+			decoded, err := ddsketch.Decode(want)
+			if err != nil {
+				t.Fatalf("documented payload does not decode: %v", err)
+			}
+			_ = decoded
+		})
+	}
+	for name := range examples {
+		if _, ok := wireExampleBuilders[name]; !ok {
+			t.Errorf("docs/WIRE_FORMAT.md example %q has no pinning builder", name)
+		}
+	}
+}
