@@ -1,0 +1,260 @@
+// Command ddload drives a leaf→root ddserver pair under concurrent
+// load and reports ingest latency quantiles and root freshness.
+//
+// By default it builds the whole tier in-process: a root ddserver, a
+// leaf ddserver forwarding every closed window to the root's /ingest,
+// and N agent goroutines POSTing batches of raw values to the leaf's
+// /values over real HTTP on loopback. Each agent times every POST and
+// records the latency in its own DDSketch; at the end the per-agent
+// sketches merge (exactly, per the paper's mergeability property) into
+// the fleet-wide latency distribution the tool reports — the harness
+// eats its own dog food.
+//
+// After the send phase, ddload waits for the tier to converge: the
+// leaf's trailing windows must rotate, the forwarder must deliver
+// them, and the root's count must reach everything the agents sent
+// minus any sheds the leaf counted. The time from end-of-send to
+// convergence is the reported root freshness. A convergence timeout
+// exits nonzero, which makes the tool usable as a CI smoke test:
+//
+//	ddload -agents 4 -duration 2s -batch 50 -window 300ms
+//
+// An external leaf can be targeted with -leaf-url (convergence
+// checking is skipped unless the leaf reports forwarding stats and
+// -root-url points at the root's /stats).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ddsketch-go/ddsketch"
+	"github.com/ddsketch-go/ddsketch/internal/ddserver"
+)
+
+func main() {
+	agents := flag.Int("agents", 8, "concurrent agent goroutines POSTing to the leaf")
+	duration := flag.Duration("duration", 5*time.Second, "length of the send phase")
+	batch := flag.Int("batch", 100, "values per POST /values batch")
+	window := flag.Duration("window", time.Second, "aggregation window of the in-process tier")
+	alpha := flag.Float64("alpha", 0.01, "relative accuracy of the in-process tier and the latency sketches")
+	leafURL := flag.String("leaf-url", "", "external leaf base URL (empty = build the tier in-process)")
+	rootURL := flag.String("root-url", "", "external root base URL for convergence polling (with -leaf-url)")
+	convergeTimeout := flag.Duration("converge-timeout", 30*time.Second, "how long to wait for the root to catch up after the send phase")
+	flag.Parse()
+
+	log.SetFlags(0)
+	if err := run(*agents, *duration, *batch, *window, *alpha, *leafURL, *rootURL, *convergeTimeout); err != nil {
+		log.Fatal("ddload: ", err)
+	}
+}
+
+func run(agents int, duration time.Duration, batch int, window time.Duration, alpha float64, leafURL, rootURL string, convergeTimeout time.Duration) error {
+	var leaf, root *ddserver.Server
+	if leafURL == "" {
+		var cleanup func()
+		var err error
+		leaf, root, leafURL, rootURL, cleanup, err = buildTier(window, alpha)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		log.Printf("in-process tier: leaf %s → root %s (window %v)", leafURL, rootURL, window)
+	}
+
+	// Send phase: each agent POSTs batches of positive values and
+	// sketches its own POST latencies (in milliseconds).
+	latencies := make([]*ddsketch.DDSketch, agents)
+	sent := make([]float64, agents)
+	errs := make([]int, agents)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	for a := 0; a < agents; a++ {
+		sk, err := ddsketch.NewCollapsing(alpha, 2048)
+		if err != nil {
+			return err
+		}
+		latencies[a] = sk
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(a) + 1))
+			client := &http.Client{Timeout: 5 * time.Second}
+			var body strings.Builder
+			for time.Now().Before(deadline) {
+				body.Reset()
+				for i := 0; i < batch; i++ {
+					// Log-normal-ish positive values spanning a few decades.
+					fmt.Fprintf(&body, "%g ", 1+rng.ExpFloat64()*100)
+				}
+				start := time.Now()
+				resp, err := client.Post(leafURL+"/values", "text/plain", strings.NewReader(body.String()))
+				if err != nil {
+					errs[a]++
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[a]++
+					continue
+				}
+				_ = latencies[a].Add(float64(time.Since(start).Microseconds()) / 1000)
+				sent[a] += float64(batch)
+			}
+		}(a)
+	}
+	wg.Wait()
+	sendEnd := time.Now()
+
+	merged := latencies[0]
+	totalSent, totalErrs := sent[0], errs[0]
+	for a := 1; a < agents; a++ {
+		if err := merged.MergeWith(latencies[a]); err != nil {
+			return fmt.Errorf("merging agent latency sketches: %w", err)
+		}
+		totalSent += sent[a]
+		totalErrs += errs[a]
+	}
+	if totalSent == 0 {
+		return fmt.Errorf("no batch was accepted by the leaf (%d errors)", totalErrs)
+	}
+	summary, err := merged.Summary(0.5, 0.9, 0.95, 0.99)
+	if err != nil {
+		return fmt.Errorf("summarizing latencies: %w", err)
+	}
+	log.Printf("sent %.0f values in %d-value batches from %d agents (%d failed POSTs)",
+		totalSent, batch, agents, totalErrs)
+	q := func(i int) float64 { return summary.Quantiles[i].Value }
+	log.Printf("ingest latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f (n=%.0f)",
+		q(0), q(1), q(2), q(3), summary.Max, summary.Count)
+
+	// Convergence phase: wait for the root to hold everything the
+	// agents sent, minus sheds the leaf counted. Duplicates from
+	// timed-out-but-delivered POSTs would overshoot; at-least-once
+	// delivery means >= is the correct bar.
+	if rootURL == "" {
+		log.Printf("no root URL: skipping convergence check")
+		return nil
+	}
+	convergeDeadline := time.Now().Add(convergeTimeout)
+	for {
+		shed := leafShedWeight(leaf, leafURL)
+		have := rootCount(root, rootURL)
+		if have >= totalSent-shed {
+			log.Printf("root fresh after %v: count %.0f >= sent %.0f - shed %.0f",
+				time.Since(sendEnd).Round(time.Millisecond), have, totalSent, shed)
+			return nil
+		}
+		if time.Now().After(convergeDeadline) {
+			return fmt.Errorf("root never converged: count %.0f < sent %.0f - shed %.0f after %v",
+				have, totalSent, shed, convergeTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// buildTier assembles the in-process leaf→root pair on loopback
+// listeners with real drain-loop tickers, exactly as two ddserver
+// processes would run.
+func buildTier(window time.Duration, alpha float64) (leaf, root *ddserver.Server, leafURL, rootURL string, cleanup func(), err error) {
+	var closers []func()
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	start := func(srv *ddserver.Server) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		ticker := time.NewTicker(window / 2)
+		stop := make(chan struct{})
+		go srv.RunDrainLoop(ticker.C, stop)
+		closers = append(closers, func() {
+			close(stop)
+			ticker.Stop()
+			_ = hs.Close()
+			srv.Close()
+		})
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	rootCfg := ddserver.DefaultConfig()
+	rootCfg.Alpha = alpha
+	rootCfg.Interval = window
+	rootCfg.Windows = 60
+	root, err = ddserver.NewServer(rootCfg)
+	if err != nil {
+		return nil, nil, "", "", cleanup, err
+	}
+	rootURL, err = start(root)
+	if err != nil {
+		return nil, nil, "", "", cleanup, err
+	}
+
+	leafCfg := ddserver.DefaultConfig()
+	leafCfg.Alpha = alpha
+	leafCfg.Interval = window
+	leafCfg.Windows = 60
+	leafCfg.Forward.URL = rootURL + "/ingest"
+	leafCfg.Forward.BackoffBase = 50 * time.Millisecond
+	leaf, err = ddserver.NewServer(leafCfg)
+	if err != nil {
+		return nil, nil, "", "", cleanup, err
+	}
+	leafURL, err = start(leaf)
+	if err != nil {
+		return nil, nil, "", "", cleanup, err
+	}
+	return leaf, root, leafURL, rootURL, cleanup, nil
+}
+
+// leafShedWeight reads the leaf's counted shed weight, in-process when
+// possible, over /stats otherwise.
+func leafShedWeight(leaf *ddserver.Server, leafURL string) float64 {
+	if leaf != nil {
+		if fs, ok := leaf.ForwardStats(); ok {
+			return fs.ShedWeight
+		}
+		return 0
+	}
+	var stats struct {
+		Forward struct {
+			ShedWeight float64 `json:"shed_weight"`
+		} `json:"forward"`
+	}
+	fetchJSON(leafURL+"/stats", &stats)
+	return stats.Forward.ShedWeight
+}
+
+// rootCount reads the root's total retained weight.
+func rootCount(root *ddserver.Server, rootURL string) float64 {
+	if root != nil {
+		return root.Aggregate().Count()
+	}
+	var stats struct {
+		Count float64 `json:"count"`
+	}
+	fetchJSON(rootURL+"/stats", &stats)
+	return stats.Count
+}
+
+func fetchJSON(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	_ = json.NewDecoder(resp.Body).Decode(into)
+}

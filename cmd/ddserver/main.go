@@ -17,6 +17,14 @@
 // but never correctness or memory. Keyed ingest reuses POST /values
 // with a key, and GET /summary?filter=... rolls matching series up.
 //
+// Servers tier into a leaf→root topology: GET /sketch exports the
+// aggregate in any registered wire format (pull), and -forward-url
+// makes this server a leaf that ships every closed window interval to
+// a root's /ingest (push) — spooled, retried with capped exponential
+// backoff, shed-and-counted when a root outage outlives -forward-spool.
+// Exact mergeability means the root answers as if it had ingested every
+// leaf's stream directly.
+//
 // Endpoints:
 //
 //	POST /ingest          body: binary sketch in any registered wire
@@ -31,6 +39,9 @@
 //	                      ?key=service=api,endpoint=/login (or a first
 //	                      body line "key=...") routes the batch to the
 //	                      keyed registry instead of the aggregate
+//	GET  /sketch[?format=native|datadog][&window=k]
+//	                      the trailing-window aggregate, encoded; the
+//	                      codec comes from format= or Accept negotiation
 //	GET  /quantile?q=0.5,0.99[&window=k]
 //	GET  /summary[?q=0.5,0.9,0.99][&window=k]
 //	GET  /summary?filter=service=api,endpoint=*   keyed roll-up ("*" = all + overflow)
@@ -43,10 +54,12 @@
 //	ddserver -addr :8080 -alpha 0.01 -window 10s -windows 6
 //	ddserver -mapping cubic -uniform-collapse -max-bins 512
 //	ddserver -registry-sketches 10000 -registry-admission 2
+//	ddserver -addr :8081 -forward-url http://root:8080/ingest   # leaf
 //	curl -s 'localhost:8080/quantile?q=0.5,0.99'
 //	curl -s 'localhost:8080/summary'
 //	curl -s -d '1.5 2.5 3.5' 'localhost:8080/values?key=service=api'
 //	curl -s 'localhost:8080/summary?filter=service=api'
+//	curl -s -H 'Accept: application/x-protobuf' localhost:8080/sketch >agg.pb
 package main
 
 import (
@@ -56,45 +69,61 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"github.com/ddsketch-go/ddsketch/internal/ddserver"
 )
 
 func main() {
-	cfg := defaultConfig()
-	flag.StringVar(&cfg.addr, "addr", cfg.addr, "listen address")
-	flag.Float64Var(&cfg.alpha, "alpha", cfg.alpha, "relative accuracy α of the aggregate sketch")
-	flag.StringVar(&cfg.mappingName, "mapping", cfg.mappingName,
+	cfg := ddserver.DefaultConfig()
+	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
+	flag.Float64Var(&cfg.Alpha, "alpha", cfg.Alpha, "relative accuracy α of the aggregate sketch")
+	flag.StringVar(&cfg.MappingName, "mapping", cfg.MappingName,
 		"index mapping: log, linear, quadratic, cubic (interpolated mappings skip math.Log on insertion)")
-	flag.IntVar(&cfg.maxBins, "max-bins", cfg.maxBins, "bucket budget (per store when collapsing lowest, total when uniform)")
-	flag.BoolVar(&cfg.uniform, "uniform-collapse", cfg.uniform,
+	flag.IntVar(&cfg.MaxBins, "max-bins", cfg.MaxBins, "bucket budget (per store when collapsing lowest, total when uniform)")
+	flag.BoolVar(&cfg.Uniform, "uniform-collapse", cfg.Uniform,
 		"collapse uniformly under the bin budget (UDDSketch: degrade α everywhere) instead of lowest-first")
-	flag.IntVar(&cfg.shards, "shards", cfg.shards, "ingest shard count (0 = auto from GOMAXPROCS)")
-	flag.DurationVar(&cfg.interval, "window", cfg.interval, "duration of one aggregation window")
-	flag.IntVar(&cfg.windows, "windows", cfg.windows, "number of retained windows")
-	flag.StringVar(&cfg.wireFormat, "wire-format", cfg.wireFormat,
-		"ingest format when Content-Type is absent or generic: auto (sniff), or a codec name ("+codecNames()+")")
-	flag.IntVar(&cfg.registrySketches, "registry-sketches", cfg.registrySketches,
+	flag.IntVar(&cfg.Shards, "shards", cfg.Shards, "ingest shard count (0 = auto from GOMAXPROCS)")
+	flag.DurationVar(&cfg.Interval, "window", cfg.Interval, "duration of one aggregation window")
+	flag.IntVar(&cfg.Windows, "windows", cfg.Windows, "number of retained windows")
+	flag.StringVar(&cfg.WireFormat, "wire-format", cfg.WireFormat,
+		"ingest format when Content-Type is absent or generic: auto (sniff), or a codec name")
+	flag.IntVar(&cfg.RegistrySketches, "registry-sketches", cfg.RegistrySketches,
 		"per-key sketch budget of the keyed registry (LRU-evicts into overflow beyond this)")
-	flag.Float64Var(&cfg.registryAdmission, "registry-admission", cfg.registryAdmission,
+	flag.Float64Var(&cfg.RegistryAdmission, "registry-admission", cfg.RegistryAdmission,
 		"estimated weight a key needs before earning its own sketch (<=0 admits immediately)")
+	flag.StringVar(&cfg.Forward.URL, "forward-url", cfg.Forward.URL,
+		"root /ingest URL to forward each closed window interval to (empty = no forwarding)")
+	flag.StringVar(&cfg.Forward.Format, "forward-format", cfg.Forward.Format,
+		"wire format forwarded intervals are encoded in (native is lossless)")
+	flag.IntVar(&cfg.Forward.Spool, "forward-spool", cfg.Forward.Spool,
+		"closed intervals spooled while the root is unreachable (beyond this the oldest is shed and counted)")
+	flag.DurationVar(&cfg.Forward.Timeout, "forward-timeout", cfg.Forward.Timeout,
+		"per-attempt timeout for one forwarded POST")
 	flag.Parse()
 
-	srv, err := newServer(cfg)
+	srv, err := ddserver.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddserver:", err)
 		os.Exit(1)
 	}
+	defer srv.Close()
 
 	// Drain the sharded layer into the current time window at twice the
-	// window frequency, so values land in the window they arrived in.
-	ticker := time.NewTicker(cfg.interval / 2)
+	// window frequency, so values land in the window they arrived in —
+	// and so a forwarding leaf notices rotations promptly while idle.
+	ticker := time.NewTicker(cfg.Interval / 2)
 	defer ticker.Stop()
 	stop := make(chan struct{})
 	defer close(stop)
-	go srv.runDrainLoop(ticker.C, stop)
+	go srv.RunDrainLoop(ticker.C, stop)
 
+	if cfg.Forward.URL != "" {
+		log.Printf("ddserver forwarding closed windows to %s (format=%s, spool=%d)",
+			cfg.Forward.URL, cfg.Forward.Format, cfg.Forward.Spool)
+	}
 	log.Printf("ddserver listening on %s (α=%g, mapping=%s, %d windows × %v)",
-		cfg.addr, cfg.alpha, cfg.mappingName, cfg.windows, cfg.interval)
-	if err := http.ListenAndServe(cfg.addr, srv.handler()); err != nil {
+		cfg.Addr, cfg.Alpha, cfg.MappingName, cfg.Windows, cfg.Interval)
+	if err := http.ListenAndServe(cfg.Addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}
 }

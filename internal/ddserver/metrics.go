@@ -1,7 +1,6 @@
-package main
+package ddserver
 
 import (
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -40,14 +39,16 @@ func promMetricLabeled(b *strings.Builder, name, kind, help, label string, sampl
 }
 
 // handleMetrics answers GET /metrics with a Prometheus-format scrape of
-// the service: ingest counters for all three planes (encoded sketches,
-// unkeyed raw values, keyed raw values), the aggregate's population and
-// collapse state, and the keyed registry's cardinality/eviction/memory
-// gauges. Everything here is served from atomic counters or one Summary
-// pass, so scraping is cheap enough for a 15s interval.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// the service: ingest and export counters for all planes (encoded
+// sketches, unkeyed raw values, keyed raw values, served exports), the
+// aggregate's population and collapse state, the keyed registry's
+// cardinality/eviction/memory gauges, and — on a forwarding leaf — the
+// spool/delivery/shed counters of the leaf→root tier. Everything here
+// is served from atomic counters or one Summary pass, so scraping is
+// cheap enough for a 15s interval.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	var b strings.Builder
@@ -62,6 +63,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promMetricLabeled(&b, "ddserver_sketches_ingested_format_total", "counter",
 		"Encoded sketches merged via POST /ingest, by negotiated wire format.",
 		"format", ingestFormats)
+	exportFormats := make(map[string]float64, len(s.exportByFormat))
+	for name, c := range s.exportByFormat {
+		exportFormats[name] = float64(c.Load())
+	}
+	promMetricLabeled(&b, "ddserver_sketches_exported_format_total", "counter",
+		"Encoded sketches served via GET /sketch, by negotiated wire format.",
+		"format", exportFormats)
 	promMetric(&b, "ddserver_values_ingested_total", "counter",
 		"Raw values accepted into the unkeyed aggregate via POST /values.",
 		float64(s.valuesIngested.Load()))
@@ -105,9 +113,48 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Estimated in-memory footprint of the keyed registry.",
 		float64(st.SizeBytes))
 
+	if fs, ok := s.ForwardStats(); ok {
+		promMetric(&b, "ddserver_forward_spool_depth", "gauge",
+			"Closed window intervals currently waiting for delivery to the root.",
+			float64(fs.SpoolDepth))
+		promMetric(&b, "ddserver_forward_spool_capacity", "gauge",
+			"Configured bound on spooled intervals (-forward-spool).",
+			float64(fs.SpoolCapacity))
+		promMetric(&b, "ddserver_forward_spooled_total", "counter",
+			"Closed window intervals handed to the forwarder.",
+			float64(fs.Spooled))
+		promMetric(&b, "ddserver_forward_forwarded_total", "counter",
+			"Intervals delivered to the root (2xx).",
+			float64(fs.Forwarded))
+		promMetric(&b, "ddserver_forward_forwarded_weight_total", "counter",
+			"Total sketch weight (value count) delivered to the root.",
+			fs.ForwardedWeight)
+		promMetric(&b, "ddserver_forward_attempts_total", "counter",
+			"Delivery attempts (every POST to the root).",
+			float64(fs.Attempts))
+		promMetric(&b, "ddserver_forward_retries_total", "counter",
+			"Delivery attempts that re-sent a previously attempted interval.",
+			float64(fs.Retries))
+		promMetric(&b, "ddserver_forward_shed_total", "counter",
+			"Intervals dropped because the spool was full when a newer interval closed.",
+			float64(fs.Shed))
+		promMetric(&b, "ddserver_forward_shed_weight_total", "counter",
+			"Total sketch weight carried by shed intervals (the root is short exactly this much).",
+			fs.ShedWeight)
+		promMetric(&b, "ddserver_forward_rejected_total", "counter",
+			"Intervals the root refused with a non-retryable status.",
+			float64(fs.Rejected))
+		promMetric(&b, "ddserver_forward_encode_errors_total", "counter",
+			"Intervals that could not be encoded for forwarding.",
+			float64(fs.EncodeErrors))
+		promMetric(&b, "ddserver_forward_last_success_age_seconds", "gauge",
+			"Seconds since the last successful delivery to the root (-1 before the first).",
+			fs.LastSuccessAgeSeconds)
+	}
+
 	promMetric(&b, "ddserver_uptime_seconds", "gauge",
 		"Seconds since the server started.",
-		s.cfg.now().Sub(s.started).Seconds())
+		s.cfg.Now().Sub(s.started).Seconds())
 
 	w.Header().Set("Content-Type", metricsContentType)
 	_, _ = w.Write([]byte(b.String()))

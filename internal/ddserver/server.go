@@ -1,4 +1,30 @@
-package main
+// Package ddserver implements the DDSketch aggregation service behind
+// cmd/ddserver: the central half of the architecture in §1 of the
+// paper, where a fleet of agents each sketch their local traffic and
+// ship the (fully-mergeable) sketches to an aggregator that answers
+// quantile queries over the combined stream.
+//
+// The package — rather than the command — holds the implementation so
+// that one process can embed several servers at once: cmd/ddload builds
+// a leaf→root pair in-process to measure end-to-end ingest latency and
+// root freshness, and the fault-injection tests kill and revive a root
+// under a forwarding leaf.
+//
+// A Server aggregates on three planes: the global plane (POST /ingest
+// for encoded sketches in any registered codec, POST /values for raw
+// values, GET /quantile, /summary and /sketch over the window ring),
+// the keyed plane (POST /values?key=…, GET /summary?filter=… roll-ups),
+// and observability (/stats JSON, /metrics Prometheus text format).
+//
+// Servers tier: GET /sketch exports the trailing-window aggregate in
+// any registered wire format (format= parameter or Accept negotiation),
+// and a Config.Forward URL turns the server into a leaf that ships each
+// closed window interval to a root's /ingest — spooled, retried with
+// capped exponential backoff, shed-and-counted when a root outage
+// outlives the spool. Exact mergeability (Algorithm 4) makes the
+// tiering lossless: the root's quantiles are what a single process fed
+// the combined stream would answer.
+package ddserver
 
 import (
 	"encoding/json"
@@ -22,40 +48,48 @@ import (
 // far beyond any legitimate sketch or value batch.
 const maxIngestBytes = 1 << 20
 
-// config collects the tunables of the aggregation service.
-type config struct {
-	addr        string
-	alpha       float64       // relative accuracy α of the aggregate sketch
-	mappingName string        // index mapping: log, linear, quadratic, cubic
-	maxBins     int           // bin budget per store (lowest) or in total (uniform)
-	uniform     bool          // collapse uniformly (UDDSketch) instead of lowest-first
-	shards      int           // shard count for the live ingest layer (0 = auto)
-	interval    time.Duration // duration of one aggregation window
-	windows     int           // number of retained windows
-	wireFormat  string        // ingest format when Content-Type is absent/generic: auto, or a codec name
+// Config collects the tunables of the aggregation service.
+type Config struct {
+	Addr        string
+	Alpha       float64       // relative accuracy α of the aggregate sketch
+	MappingName string        // index mapping: log, linear, quadratic, cubic
+	MaxBins     int           // bin budget per store (lowest) or in total (uniform)
+	Uniform     bool          // collapse uniformly (UDDSketch) instead of lowest-first
+	Shards      int           // shard count for the live ingest layer (0 = auto)
+	Interval    time.Duration // duration of one aggregation window
+	Windows     int           // number of retained windows
+	WireFormat  string        // ingest format when Content-Type is absent/generic: auto, or a codec name
 
 	// Keyed (per-series) aggregation: the registry budget and
 	// admission threshold of the SketchMap behind POST /values?key=…
 	// and GET /summary?filter=… .
-	registrySketches  int     // max live per-key sketches
-	registryAdmission float64 // estimated weight before a key earns a sketch
+	RegistrySketches  int     // max live per-key sketches
+	RegistryAdmission float64 // estimated weight before a key earns a sketch
 
-	now func() time.Time
+	// Forward, when its URL is non-empty, makes this server a leaf:
+	// every window interval that closes holding data is encoded and
+	// POSTed to the URL (a root server's /ingest endpoint).
+	Forward ForwardConfig
+
+	Now func() time.Time
 }
 
-func defaultConfig() config {
-	return config{
-		addr:              ":8080",
-		alpha:             0.01,
-		mappingName:       "log",
-		maxBins:           2048,
-		shards:            0,
-		interval:          10 * time.Second,
-		windows:           6,
-		wireFormat:        "auto",
-		registrySketches:  10_000,
-		registryAdmission: 1,
-		now:               time.Now,
+// DefaultConfig returns the service defaults, matching cmd/ddserver's
+// flag defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:              ":8080",
+		Alpha:             0.01,
+		MappingName:       "log",
+		MaxBins:           2048,
+		Shards:            0,
+		Interval:          10 * time.Second,
+		Windows:           6,
+		WireFormat:        "auto",
+		RegistrySketches:  10_000,
+		RegistryAdmission: 1,
+		Forward:           DefaultForwardConfig(),
+		Now:               time.Now,
 	}
 }
 
@@ -63,30 +97,30 @@ func defaultConfig() config {
 // mapping at the configured α. The interpolated mappings trade a few
 // percent more buckets for a math.Log-free insertion path (§4 of the
 // paper); all four support uniform collapse.
-func (c config) newMapping() (mapping.IndexMapping, error) {
-	switch c.mappingName {
+func (c Config) newMapping() (mapping.IndexMapping, error) {
+	switch c.MappingName {
 	case "", "log":
-		return mapping.NewLogarithmic(c.alpha)
+		return mapping.NewLogarithmic(c.Alpha)
 	case "linear":
-		return mapping.NewLinearlyInterpolated(c.alpha)
+		return mapping.NewLinearlyInterpolated(c.Alpha)
 	case "quadratic":
-		return mapping.NewQuadraticallyInterpolated(c.alpha)
+		return mapping.NewQuadraticallyInterpolated(c.Alpha)
 	case "cubic":
-		return mapping.NewCubicallyInterpolated(c.alpha)
+		return mapping.NewCubicallyInterpolated(c.Alpha)
 	default:
-		return nil, fmt.Errorf("unknown mapping %q (want log, linear, quadratic, or cubic)", c.mappingName)
+		return nil, fmt.Errorf("unknown mapping %q (want log, linear, quadratic, or cubic)", c.MappingName)
 	}
 }
 
-// server is the aggregation service: a ddsketch.WindowedSharded — a
+// Server is the aggregation service: a ddsketch.WindowedSharded — a
 // sharded sketch absorbing concurrent ingest (encoded sketches from
 // agents, or raw values), drained into a time-windowed ring from which
 // queries are answered. This is the paper's §1 architecture — agents
 // sketch locally, ship, and the aggregator merges losslessly — made
 // concrete over HTTP. The sketch layering itself lives in the library;
 // the server is the thin HTTP skin over it.
-type server struct {
-	cfg config
+type Server struct {
+	cfg Config
 	agg *ddsketch.WindowedSharded
 
 	// reg is the keyed plane: a registry.SketchMap holding one sketch
@@ -96,6 +130,10 @@ type server struct {
 	// above and the keyed registry are separate planes: unkeyed values
 	// are windowed globally, keyed values are retained per series.
 	reg *registry.SketchMap
+
+	// fwd ships closed window intervals to the configured root; nil
+	// when this server is not a leaf.
+	fwd *forwarder
 
 	// maxIndexable is the aggregate mapping's largest indexable
 	// magnitude; /values pre-validates raw values against it so a batch
@@ -107,35 +145,45 @@ type server struct {
 	valuesIngested   atomic.Int64
 	keyedIngested    atomic.Int64
 
-	// ingestByFormat splits sketchesIngested by the wire format each
-	// payload arrived in, one pre-allocated counter per registered codec
-	// so the hot path stays lock-free.
+	// ingestByFormat and exportByFormat split the sketch traffic by
+	// wire format — payloads accepted on /ingest, payloads served from
+	// /sketch — one pre-allocated counter per registered codec so the
+	// hot paths stay lock-free.
 	ingestByFormat map[string]*atomic.Int64
+	exportByFormat map[string]*atomic.Int64
+
+	// summarize is what /stats reads the aggregate through; it is
+	// s.agg.Summary except in tests that exercise the error paths.
+	summarize func(qs ...float64) (ddsketch.Summary, error)
 
 	started time.Time
 }
 
-func newServer(cfg config) (*server, error) {
-	if cfg.now == nil {
-		cfg.now = time.Now
+// NewServer builds a server from cfg. When cfg.Forward.URL is set the
+// returned server is already forwarding: its delivery goroutine is
+// running and every window rotation enqueues the closed interval. Call
+// Close to stop it.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
-	if cfg.wireFormat == "" {
-		cfg.wireFormat = "auto"
+	if cfg.WireFormat == "" {
+		cfg.WireFormat = "auto"
 	}
-	if cfg.wireFormat != "auto" && ddsketch.CodecByName(cfg.wireFormat) == nil {
+	if cfg.WireFormat != "auto" && ddsketch.CodecByName(cfg.WireFormat) == nil {
 		return nil, fmt.Errorf("unknown wire format %q (want auto or one of: %s)",
-			cfg.wireFormat, codecNames())
+			cfg.WireFormat, codecNames())
 	}
 	m, err := cfg.newMapping()
 	if err != nil {
 		return nil, err
 	}
-	boundOpt := ddsketch.WithMaxBins(cfg.maxBins)
-	if cfg.uniform {
+	boundOpt := ddsketch.WithMaxBins(cfg.MaxBins)
+	if cfg.Uniform {
 		// UDDSketch mode: degrade α uniformly under the bin budget
 		// instead of sacrificing the lowest quantiles. Shards and window
 		// slots collapse independently and reconcile on merge.
-		boundOpt = ddsketch.WithUniformCollapse(cfg.maxBins)
+		boundOpt = ddsketch.WithUniformCollapse(cfg.MaxBins)
 	}
 	// The mapping carries its own accuracy, so it replaces
 	// WithRelativeAccuracy; NewSketch rejects invalid combinations with a
@@ -143,9 +191,9 @@ func newServer(cfg config) (*server, error) {
 	sketch, err := ddsketch.NewSketch(
 		ddsketch.WithMapping(m),
 		boundOpt,
-		ddsketch.WithSharding(cfg.shards),
-		ddsketch.WithWindow(cfg.interval, cfg.windows),
-		ddsketch.WithClock(cfg.now),
+		ddsketch.WithSharding(cfg.Shards),
+		ddsketch.WithWindow(cfg.Interval, cfg.Windows),
+		ddsketch.WithClock(cfg.Now),
 	)
 	if err != nil {
 		return nil, err
@@ -156,18 +204,20 @@ func newServer(cfg config) (*server, error) {
 	// provide the concurrency, and keyed series are retained until
 	// evicted into overflow rather than rotated out.
 	reg, err := registry.New(
-		registry.WithMaxSketches(cfg.registrySketches),
-		registry.WithAdmissionThreshold(cfg.registryAdmission),
+		registry.WithMaxSketches(cfg.RegistrySketches),
+		registry.WithAdmissionThreshold(cfg.RegistryAdmission),
 		registry.WithSketchOptions(ddsketch.WithMapping(m), boundOpt),
 	)
 	if err != nil {
 		return nil, err
 	}
 	ingestByFormat := make(map[string]*atomic.Int64)
+	exportByFormat := make(map[string]*atomic.Int64)
 	for _, c := range ddsketch.Codecs() {
 		ingestByFormat[c.Name()] = new(atomic.Int64)
+		exportByFormat[c.Name()] = new(atomic.Int64)
 	}
-	return &server{
+	s := &Server{
 		cfg: cfg,
 		agg: agg,
 		reg: reg,
@@ -176,8 +226,44 @@ func newServer(cfg config) (*server, error) {
 		// sketch actually rejects.
 		maxIndexable:   agg.Snapshot().IndexMapping().MaxIndexableValue(),
 		ingestByFormat: ingestByFormat,
-		started:        cfg.now(),
-	}, nil
+		exportByFormat: exportByFormat,
+		summarize:      agg.Summary,
+		started:        cfg.Now(),
+	}
+	if cfg.Forward.URL != "" {
+		fwd, err := newForwarder(cfg.Forward, cfg.Now)
+		if err != nil {
+			return nil, err
+		}
+		s.fwd = fwd
+		// The rotate hook runs under the ring lock, so it only encodes
+		// and spools; delivery happens on the forwarder's own goroutine.
+		agg.SetRotateHook(fwd.enqueue)
+		go fwd.run()
+	}
+	return s, nil
+}
+
+// Close stops the forwarding goroutine, if any. Spooled intervals not
+// yet delivered are dropped; their counts remain visible in the final
+// ForwardStats. Close is a no-op for non-leaf servers.
+func (s *Server) Close() {
+	if s.fwd != nil {
+		s.fwd.Close()
+	}
+}
+
+// Aggregate exposes the underlying windowed aggregate, letting
+// embedders (cmd/ddload, tests) drive drains or read totals directly.
+func (s *Server) Aggregate() *ddsketch.WindowedSharded { return s.agg }
+
+// ForwardStats returns a snapshot of the forwarding counters, and
+// reports whether this server forwards at all.
+func (s *Server) ForwardStats() (ForwardStats, bool) {
+	if s.fwd == nil {
+		return ForwardStats{}, false
+	}
+	return s.fwd.snapshot(), true
 }
 
 // codecNames renders the registered codec names for error messages and
@@ -191,13 +277,25 @@ func codecNames() string {
 	return strings.Join(names, ", ")
 }
 
-// runDrainLoop drains the sharded layer into the current time window on
+// codecContentTypes renders the registered codecs' media types for
+// Accept-negotiation error messages.
+func codecContentTypes() string {
+	all := ddsketch.Codecs()
+	types := make([]string, len(all))
+	for i, c := range all {
+		types[i] = c.ContentType()
+	}
+	return strings.Join(types, ", ")
+}
+
+// RunDrainLoop drains the sharded layer into the current time window on
 // every tick until stop is closed, so values are attributed to the
 // window in which they arrived, not the one in which they were first
-// queried. (Queries drain on their own, so reads always see all
-// acknowledged writes.) main wires this to a ticker of half the window
-// interval.
-func (s *server) runDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
+// queried — and so window rotation (which is what triggers leaf
+// forwarding) is noticed promptly even when the server goes idle.
+// (Queries drain on their own, so reads always see all acknowledged
+// writes.) main wires this to a ticker of half the window interval.
+func (s *Server) RunDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
 	for {
 		select {
 		case <-tick:
@@ -208,13 +306,14 @@ func (s *server) runDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
 	}
 }
 
-// handler returns the service's routing table.
-func (s *server) handler() http.Handler {
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/values", s.handleValues)
 	mux.HandleFunc("/quantile", s.handleQuantile)
 	mux.HandleFunc("/summary", s.handleSummary)
+	mux.HandleFunc("/sketch", s.handleSketch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -235,6 +334,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// methodNotAllowed answers 405 with the Allow header RFC 9110 §15.5.6
+// requires, naming the method the endpoint does speak.
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s required", allow))
+}
+
 // readBody reads a POST body enforcing maxIngestBytes through
 // http.MaxBytesReader — which, unlike a bare LimitReader, also stops the
 // server from draining the rest of an oversized upload — writing the
@@ -242,7 +348,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // unusable.
 func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		methodNotAllowed(w, http.MethodPost)
 		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
@@ -269,7 +375,7 @@ func readBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
 // 415 Unsupported Media Type, and an absent or generic client-default
 // type falls back to the -wire-format setting — "auto" (the default)
 // sniffs the payload's leading bytes, a codec name pins the format.
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -305,7 +411,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // that HTTP clients send by default when the caller expressed no
 // choice (curl -d, http.Post with octet-stream, and the like) defer to
 // the configured -wire-format instead of being rejected.
-func (s *server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, int, error) {
+func (s *Server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, int, error) {
 	if c := ddsketch.CodecByContentType(contentType); c != nil {
 		return c, 0, nil
 	}
@@ -316,9 +422,9 @@ func (s *server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, i
 	default:
 		return nil, http.StatusUnsupportedMediaType,
 			fmt.Errorf("unsupported Content-Type %q (known: application/x-ddsketch, application/x-protobuf, or omit for -wire-format=%s)",
-				contentType, s.cfg.wireFormat)
+				contentType, s.cfg.WireFormat)
 	}
-	if s.cfg.wireFormat == "auto" {
+	if s.cfg.WireFormat == "auto" {
 		c, err := ddsketch.DetectCodec(body)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
@@ -326,7 +432,88 @@ func (s *server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, i
 		return c, 0, nil
 	}
 	// Validated at startup, so this lookup cannot fail.
-	return ddsketch.CodecByName(s.cfg.wireFormat), 0, nil
+	return ddsketch.CodecByName(s.cfg.WireFormat), 0, nil
+}
+
+// handleSketch answers GET /sketch[?format=<codec>][&window=k]: the
+// trailing-window aggregate, encoded — the read-side mirror of /ingest,
+// and the pull half of tiering. A downstream ddserver can poll a leaf's
+// /sketch and POST the bytes straight into its own /ingest (the push
+// half is -forward-url), and a DataDog agent can ask for
+// format=datadog; either way the downstream merge is exact, so tiering
+// costs no accuracy.
+//
+// The codec is chosen by the format parameter when present (400 for an
+// unknown name); otherwise by the Accept header — the first listed
+// media type naming a registered codec wins, */* and application/*
+// select the native default, q-values are not weighed, and an Accept
+// naming only unregistered types is refused with 406 — and an absent
+// Accept means native. An empty aggregate exports as a valid empty
+// sketch (byte-decodable and mergeable downstream), not an error, so
+// pollers need no special case.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	codec, status, err := exportCodec(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	trailing, err := s.parseWindow(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snapshot := s.agg.Trailing(trailing)
+	payload, err := codec.Encode(snapshot)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if c := s.exportByFormat[codec.Name()]; c != nil {
+		c.Add(1)
+	}
+	w.Header().Set("Content-Type", codec.ContentType())
+	// The exported population and window span ride along as headers for
+	// pollers measuring freshness without decoding the payload.
+	w.Header().Set("X-Ddsketch-Count", strconv.FormatFloat(snapshot.Count(), 'g', -1, 64))
+	w.Header().Set("X-Ddsketch-Windows", strconv.Itoa(trailing))
+	_, _ = w.Write(payload)
+}
+
+// exportCodec negotiates the wire format of a /sketch response: the
+// explicit format parameter wins, then the Accept header, then the
+// native default.
+func exportCodec(r *http.Request) (ddsketch.Codec, int, error) {
+	if format := r.URL.Query().Get("format"); format != "" {
+		c := ddsketch.CodecByName(format)
+		if c == nil {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("unknown format %q (registered: %s)", format, codecNames())
+		}
+		return c, 0, nil
+	}
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return ddsketch.NativeCodec, 0, nil
+	}
+	// First acceptable media range in header order wins; q-values are
+	// not weighed (sketch-shipping clients list one type, or a type
+	// plus a wildcard).
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		mediaType = strings.ToLower(strings.TrimSpace(mediaType))
+		if mediaType == "*/*" || mediaType == "application/*" {
+			return ddsketch.NativeCodec, 0, nil
+		}
+		if c := ddsketch.CodecByContentType(mediaType); c != nil {
+			return c, 0, nil
+		}
+	}
+	return nil, http.StatusNotAcceptable,
+		fmt.Errorf("no acceptable codec for Accept %q (served: %s)", accept, codecContentTypes())
 }
 
 // handleValues accepts whitespace-separated raw values, for clients too
@@ -341,7 +528,7 @@ func (s *server) ingestCodec(contentType string, body []byte) (ddsketch.Codec, i
 // batch is instead recorded under that series in the keyed registry,
 // where it is admission-gated, budget-evicted, and queryable through
 // GET /summary?filter=… .
-func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
@@ -352,6 +539,9 @@ func (s *server) handleValues(w http.ResponseWriter, r *http.Request) {
 		// Key in the body: a first line "key=<label set>", values after.
 		if rest, found := strings.CutPrefix(payload, "key="); found {
 			key, payload, _ = strings.Cut(rest, "\n")
+			// A CRLF client must name the same series as an LF client:
+			// the trailing \r is line framing, not part of the label set.
+			key = strings.TrimSuffix(key, "\r")
 		}
 	}
 	fields := strings.Fields(payload)
@@ -420,7 +610,7 @@ func parseQuantiles(qParam string) ([]float64, error) {
 // parseWindow parses the optional window=k parameter, clamped to the
 // retained window count (so responses report the range actually
 // merged). Absent means all retained windows.
-func (s *server) parseWindow(r *http.Request) (int, error) {
+func (s *Server) parseWindow(r *http.Request) (int, error) {
 	trailing := s.agg.Windows()
 	winParam := r.URL.Query().Get("window")
 	if winParam == "" {
@@ -439,9 +629,9 @@ func (s *server) parseWindow(r *http.Request) (int, error) {
 // handleQuantile answers GET /quantile?q=0.5,0.99[&window=k], merging
 // the trailing k windows (default: all retained) exactly once and
 // serving every requested quantile from that one merged snapshot.
-func (s *server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	qParam := r.URL.Query().Get("q")
@@ -493,9 +683,9 @@ var defaultSummaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
 // merges the series matching every condition (a value of * requires
 // the label's presence with any value). Filtered summaries ignore
 // window= — keyed series are retained until evicted, not windowed.
-func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	qs := defaultSummaryQuantiles
@@ -551,16 +741,16 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 // handleStats reports aggregate statistics and service counters, reading
 // the aggregate in a single Summary pass.
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	collapseMode := "lowest"
-	if s.cfg.uniform {
+	if s.cfg.Uniform {
 		collapseMode = "uniform"
 	}
-	mappingName := s.cfg.mappingName
+	mappingName := s.cfg.MappingName
 	if mappingName == "" {
 		mappingName = "log"
 	}
@@ -568,23 +758,32 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, c := range s.ingestByFormat {
 		ingestFormats[name] = c.Load()
 	}
+	exportFormats := make(map[string]int64, len(s.exportByFormat))
+	for name, c := range s.exportByFormat {
+		exportFormats[name] = c.Load()
+	}
 	stats := map[string]any{
 		"relative_accuracy": s.agg.RelativeAccuracy(),
 		"collapse_mode":     collapseMode,
 		"mapping":           mappingName,
 		"shards":            s.agg.NumShards(),
-		"window_interval":   s.cfg.interval.String(),
+		"window_interval":   s.cfg.Interval.String(),
 		"windows":           s.agg.Windows(),
-		"wire_format":       s.cfg.wireFormat,
+		"wire_format":       s.cfg.WireFormat,
 		"sketches_ingested": s.sketchesIngested.Load(),
 		"ingest_formats":    ingestFormats,
+		"export_formats":    exportFormats,
 		"values_ingested":   s.valuesIngested.Load(),
 		"keyed_ingested":    s.keyedIngested.Load(),
 		"registry":          s.reg.Stats(),
-		"uptime":            s.cfg.now().Sub(s.started).String(),
+		"uptime":            s.cfg.Now().Sub(s.started).String(),
 	}
-	summary, err := s.agg.Summary(0.5, 0.95, 0.99)
-	if err == nil {
+	if fs, ok := s.ForwardStats(); ok {
+		stats["forward"] = fs
+	}
+	summary, err := s.summarize(0.5, 0.95, 0.99)
+	switch {
+	case err == nil:
 		stats["count"] = summary.Count
 		stats["min"], stats["max"] = summary.Min, summary.Max
 		stats["sum"], stats["avg"] = summary.Sum, summary.Avg
@@ -596,11 +795,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["current_alpha"] = summary.RelativeAccuracy
 		stats["collapse_epoch"] = summary.CollapseEpoch
 		stats["mapping_detail"] = s.mappingDetail(summary.CollapseEpoch)
-	} else {
+	case errors.Is(err, ddsketch.ErrEmptySketch):
+		// An empty aggregate is a normal state, not a failure: report
+		// zeros at the configured base accuracy.
 		stats["count"] = 0.0
 		stats["current_alpha"] = s.agg.RelativeAccuracy()
 		stats["collapse_epoch"] = 0
 		stats["mapping_detail"] = s.mappingDetail(0)
+	default:
+		// Any other Summary failure is a real one — a merge that could
+		// not reconcile, a corrupted slot — and masking it as count=0
+		// would hide it from exactly the operators watching this
+		// endpoint.
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("summarizing aggregate: %w", err))
+		return
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -609,7 +818,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // base coarsened to the given collapse epoch — the same derivation the
 // wire decoder performs — so /stats reports the full collapse lineage
 // (base α, epoch, effective γ), not just the selector name.
-func (s *server) mappingDetail(epoch int) string {
+func (s *Server) mappingDetail(epoch int) string {
 	m, err := s.cfg.newMapping()
 	if err != nil {
 		return ""

@@ -1,4 +1,4 @@
-package main
+package ddserver
 
 import (
 	"bytes"
@@ -42,19 +42,19 @@ func (c *testClock) Advance(d time.Duration) {
 	c.now = c.now.Add(d)
 }
 
-func newTestServer(t *testing.T) (*httptest.Server, *testClock, config) {
+func newTestServer(t *testing.T) (*httptest.Server, *testClock, Config) {
 	t.Helper()
 	clock := newTestClock()
-	cfg := defaultConfig()
-	cfg.interval = time.Minute
-	cfg.windows = 5
-	cfg.shards = 8
-	cfg.now = clock.Now
-	srv, err := newServer(cfg)
+	cfg := DefaultConfig()
+	cfg.Interval = time.Minute
+	cfg.Windows = 5
+	cfg.Shards = 8
+	cfg.Now = clock.Now
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, clock, cfg
 }
@@ -100,7 +100,7 @@ func TestServerEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(values []float64) {
 			defer wg.Done()
-			agent, err := ddsketch.NewCollapsing(cfg.alpha, cfg.maxBins)
+			agent, err := ddsketch.NewCollapsing(cfg.Alpha, cfg.MaxBins)
 			if err != nil {
 				t.Error(err)
 				return
@@ -139,9 +139,9 @@ func TestServerEndToEnd(t *testing.T) {
 		quantiles := out["quantiles"].([]any)
 		est := quantiles[0].(map[string]any)["value"].(float64)
 		exact := combined[int(q*float64(len(combined)-1))]
-		if rel := abs(est-exact) / exact; rel > cfg.alpha+1e-9 {
+		if rel := abs(est-exact) / exact; rel > cfg.Alpha+1e-9 {
 			t.Errorf("q=%g: estimate %g vs exact %g: relative error %g exceeds α=%g",
-				q, est, exact, rel, cfg.alpha)
+				q, est, exact, rel, cfg.Alpha)
 		}
 	}
 
@@ -214,7 +214,7 @@ func TestServerErrors(t *testing.T) {
 	}
 
 	// Incompatible mapping.
-	other, err := ddsketch.New(cfg.alpha * 5)
+	other, err := ddsketch.New(cfg.Alpha * 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,12 +253,17 @@ func TestServerErrors(t *testing.T) {
 	resp.Body.Close()
 	getJSON(t, ts.URL+"/quantile?q=1.5", http.StatusBadRequest)
 
-	// Wrong methods.
-	for _, c := range []struct{ method, path string }{
-		{http.MethodGet, "/ingest"},
-		{http.MethodGet, "/values"},
-		{http.MethodPost, "/quantile"},
-		{http.MethodPost, "/stats"},
+	// Wrong methods answer 405 carrying the Allow header RFC 9110
+	// requires, naming the method the endpoint does accept.
+	for _, c := range []struct{ method, path, allow string }{
+		{http.MethodGet, "/ingest", "POST"},
+		{http.MethodGet, "/values", "POST"},
+		{http.MethodPost, "/quantile", "GET"},
+		{http.MethodPost, "/summary", "GET"},
+		{http.MethodPost, "/sketch", "GET"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+		{http.MethodDelete, "/values", "POST"},
 	} {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
 		if err != nil {
@@ -271,6 +276,9 @@ func TestServerErrors(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", c.method, c.path, got, c.allow)
 		}
 	}
 }
@@ -355,9 +363,9 @@ func TestServerValuesBatchAtomicity(t *testing.T) {
 
 func TestServerDrainLoop(t *testing.T) {
 	clock := newTestClock()
-	cfg := defaultConfig()
-	cfg.now = clock.Now
-	srv, err := newServer(cfg)
+	cfg := DefaultConfig()
+	cfg.Now = clock.Now
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +377,7 @@ func TestServerDrainLoop(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		srv.runDrainLoop(tick, stop)
+		srv.RunDrainLoop(tick, stop)
 	}()
 	tick <- time.Time{}
 	close(stop)
@@ -378,7 +386,7 @@ func TestServerDrainLoop(t *testing.T) {
 	// expiring the whole ring leaves nothing behind. Had the drain loop
 	// not run, Count's own drain would attribute the value to the *new*
 	// current window and still report 1.
-	clock.Advance(time.Duration(cfg.windows+1) * cfg.interval)
+	clock.Advance(time.Duration(cfg.Windows+1) * cfg.Interval)
 	if got := srv.agg.Count(); got != 0 {
 		t.Fatalf("count after expiring all windows = %g, want 0 (tick did not drain)", got)
 	}
@@ -500,18 +508,18 @@ func abs(x float64) float64 {
 // /stats reporting the degraded accuracy the aggregate actually serves.
 func TestServerUniformCollapse(t *testing.T) {
 	clock := newTestClock()
-	cfg := defaultConfig()
-	cfg.interval = time.Minute
-	cfg.windows = 3
-	cfg.shards = 4
-	cfg.maxBins = 64
-	cfg.uniform = true
-	cfg.now = clock.Now
-	srv, err := newServer(cfg)
+	cfg := DefaultConfig()
+	cfg.Interval = time.Minute
+	cfg.Windows = 3
+	cfg.Shards = 4
+	cfg.MaxBins = 64
+	cfg.Uniform = true
+	cfg.Now = clock.Now
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	// Raw values sweeping ~12 decades: overflows 64 bins many times.
@@ -530,7 +538,7 @@ func TestServerUniformCollapse(t *testing.T) {
 	}
 
 	// An agent sketch already collapsed under its own tight budget.
-	agent, err := ddsketch.NewUniformCollapsing(cfg.alpha, 32)
+	agent, err := ddsketch.NewUniformCollapsing(cfg.Alpha, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,11 +571,11 @@ func TestServerUniformCollapse(t *testing.T) {
 		t.Error("collapse_epoch = 0, want > 0 after a 12-decade stream into 64 bins")
 	}
 	currentAlpha := stats["current_alpha"].(float64)
-	if currentAlpha <= cfg.alpha {
-		t.Errorf("current_alpha = %g, want degraded above the configured α %g", currentAlpha, cfg.alpha)
+	if currentAlpha <= cfg.Alpha {
+		t.Errorf("current_alpha = %g, want degraded above the configured α %g", currentAlpha, cfg.Alpha)
 	}
 	// The reported α matches the recurrence α' = 2α/(1+α²) per epoch.
-	want := cfg.alpha
+	want := cfg.Alpha
 	for i := 0; i < epoch; i++ {
 		want = 2 * want / (1 + want*want)
 	}
@@ -593,14 +601,14 @@ func TestServerUniformCollapse(t *testing.T) {
 // mapping composed with uniform collapse exposes its collapse lineage.
 func TestServerMappingSelector(t *testing.T) {
 	for _, name := range []string{"log", "linear", "quadratic", "cubic"} {
-		cfg := defaultConfig()
-		cfg.mappingName = name
-		cfg.now = newTestClock().Now
-		srv, err := newServer(cfg)
+		cfg := DefaultConfig()
+		cfg.MappingName = name
+		cfg.Now = newTestClock().Now
+		srv, err := NewServer(cfg)
 		if err != nil {
 			t.Fatalf("mapping %q: %v", name, err)
 		}
-		ts := httptest.NewServer(srv.handler())
+		ts := httptest.NewServer(srv.Handler())
 		resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader("1 2 3"))
 		if err != nil {
 			t.Fatal(err)
@@ -616,10 +624,10 @@ func TestServerMappingSelector(t *testing.T) {
 		}
 	}
 
-	cfg := defaultConfig()
-	cfg.mappingName = "hyperbolic"
-	cfg.now = newTestClock().Now
-	if _, err := newServer(cfg); err == nil || !strings.Contains(err.Error(), "hyperbolic") {
+	cfg := DefaultConfig()
+	cfg.MappingName = "hyperbolic"
+	cfg.Now = newTestClock().Now
+	if _, err := NewServer(cfg); err == nil || !strings.Contains(err.Error(), "hyperbolic") {
 		t.Errorf("unknown mapping: err = %v, want a clear error naming it", err)
 	}
 }
@@ -628,16 +636,16 @@ func TestServerMappingSelector(t *testing.T) {
 // cubic mapping: collapses happen, /stats reports the degraded α and a
 // mapping_detail carrying the collapse lineage.
 func TestServerUniformCollapseCubicMapping(t *testing.T) {
-	cfg := defaultConfig()
-	cfg.mappingName = "cubic"
-	cfg.maxBins = 64
-	cfg.uniform = true
-	cfg.now = newTestClock().Now
-	srv, err := newServer(cfg)
+	cfg := DefaultConfig()
+	cfg.MappingName = "cubic"
+	cfg.MaxBins = 64
+	cfg.Uniform = true
+	cfg.Now = newTestClock().Now
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	var sb strings.Builder
@@ -662,8 +670,8 @@ func TestServerUniformCollapseCubicMapping(t *testing.T) {
 	if epoch == 0 {
 		t.Fatal("collapse_epoch = 0, want > 0 after a 12-decade stream into 64 bins")
 	}
-	if got := stats["current_alpha"].(float64); got <= cfg.alpha {
-		t.Errorf("current_alpha = %g, want degraded above α=%g", got, cfg.alpha)
+	if got := stats["current_alpha"].(float64); got <= cfg.Alpha {
+		t.Errorf("current_alpha = %g, want degraded above α=%g", got, cfg.Alpha)
 	}
 	detail := stats["mapping_detail"].(string)
 	if !strings.Contains(detail, "Cubically") || !strings.Contains(detail, "collapseEpoch") {
@@ -848,7 +856,7 @@ func TestServerMetrics(t *testing.T) {
 func TestServerIngestWireFormats(t *testing.T) {
 	ts, _, cfg := newTestServer(t)
 
-	agent, err := ddsketch.New(cfg.alpha)
+	agent, err := ddsketch.New(cfg.Alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -946,17 +954,17 @@ func TestServerIngestWireFormats(t *testing.T) {
 // payloads without a format-bearing Content-Type, instead of sniffing.
 func TestServerWireFormatFlag(t *testing.T) {
 	clock := newTestClock()
-	cfg := defaultConfig()
-	cfg.now = clock.Now
-	cfg.wireFormat = "datadog"
-	srv, err := newServer(cfg)
+	cfg := DefaultConfig()
+	cfg.Now = clock.Now
+	cfg.WireFormat = "datadog"
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
-	agent, err := ddsketch.New(cfg.alpha)
+	agent, err := ddsketch.New(cfg.Alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -997,9 +1005,243 @@ func TestServerWireFormatFlag(t *testing.T) {
 	}
 
 	// An unknown format name is a startup error, not a silent fallback.
-	bad := defaultConfig()
-	bad.wireFormat = "msgpack"
-	if _, err := newServer(bad); err == nil {
+	bad := DefaultConfig()
+	bad.WireFormat = "msgpack"
+	if _, err := NewServer(bad); err == nil {
 		t.Error("newServer accepted -wire-format=msgpack")
+	}
+}
+
+// TestServerValuesCRLFKey: a client sending CRLF line endings must land
+// in the same keyed series as one sending bare LF — the trailing \r of
+// the key line is line framing, not part of the label set.
+func TestServerValuesCRLFKey(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	postBody := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /values: status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	crlf := postBody("key=service=api,endpoint=/login\r\n1 2 3\r\n")
+	lf := postBody("key=service=api,endpoint=/login\n4")
+	if crlf["key"] != lf["key"] {
+		t.Fatalf("CRLF key %q != LF key %q: CRLF framing leaked into the label set", crlf["key"], lf["key"])
+	}
+	if got := crlf["accepted"].(float64); got != 3 {
+		t.Errorf("CRLF body accepted = %g, want 3", got)
+	}
+
+	// Both batches are one series: 4 values, not a phantom \r series.
+	out := getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api"), http.StatusOK)
+	if got := out["matched"].(float64); got != 1 {
+		t.Errorf("matched = %g, want 1 series", got)
+	}
+	if got := out["summary"].(map[string]any)["count"].(float64); got != 4 {
+		t.Errorf("count = %g, want 4", got)
+	}
+}
+
+// TestServerStatsErrorStatus: /stats reports an empty aggregate as
+// count 0, but a genuine Summary failure — a merge that could not
+// reconcile, a corrupted slot — surfaces as a 500, not a silent zero.
+func TestServerStatsErrorStatus(t *testing.T) {
+	clock := newTestClock()
+	cfg := DefaultConfig()
+	cfg.Now = clock.Now
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Empty aggregate: 200 with zeros.
+	out := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := out["count"].(float64); got != 0 {
+		t.Errorf("empty stats count = %g, want 0", got)
+	}
+
+	// A non-empty-sketch failure must not masquerade as an empty server.
+	srv.summarize = func(qs ...float64) (ddsketch.Summary, error) {
+		return ddsketch.Summary{}, fmt.Errorf("window 3: %w", ddsketch.ErrIncompatibleSketches)
+	}
+	out = getJSON(t, ts.URL+"/stats", http.StatusInternalServerError)
+	if msg := out["error"].(string); !strings.Contains(msg, "different mappings") {
+		t.Errorf("error = %q, want the underlying failure surfaced", msg)
+	}
+}
+
+// TestServerSketchExport exercises GET /sketch: the trailing-window
+// aggregate served in any registered codec, chosen by the format
+// parameter or Accept negotiation, decodable and mergeable downstream.
+func TestServerSketchExport(t *testing.T) {
+	ts, clock, _ := newTestServer(t)
+
+	get := func(t *testing.T, path, accept string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	fetch := func(t *testing.T, path, accept string, wantType string) (*ddsketch.DDSketch, *http.Response) {
+		t.Helper()
+		resp := get(t, path, accept)
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get("Content-Type"); got != wantType {
+			t.Fatalf("GET %s: Content-Type %q, want %q", path, got, wantType)
+		}
+		decoded, err := ddsketch.Decode(raw)
+		if err != nil {
+			t.Fatalf("GET %s: decoding exported payload: %v", path, err)
+		}
+		return decoded, resp
+	}
+
+	// An empty aggregate exports as a valid empty sketch, not an error.
+	empty, resp := fetch(t, "/sketch", "", "application/x-ddsketch")
+	if !empty.IsEmpty() {
+		t.Errorf("empty export decoded non-empty (count %g)", empty.Count())
+	}
+	if got := resp.Header.Get("X-Ddsketch-Count"); got != "0" {
+		t.Errorf("empty export X-Ddsketch-Count = %q, want 0", got)
+	}
+
+	var body strings.Builder
+	for i := 1; i <= 1000; i++ {
+		fmt.Fprintf(&body, "%d ", i)
+	}
+	postResp, err := http.Post(ts.URL+"/values", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+
+	// Default: the native codec, lossless.
+	native, resp := fetch(t, "/sketch", "", "application/x-ddsketch")
+	if got := native.Count(); got != 1000 {
+		t.Errorf("native export count = %g, want 1000", got)
+	}
+	if sum, _ := native.Sum(); sum != 500500 {
+		t.Errorf("native export sum = %g, want 500500", sum)
+	}
+	if got := resp.Header.Get("X-Ddsketch-Count"); got != "1000" {
+		t.Errorf("X-Ddsketch-Count = %q, want 1000", got)
+	}
+
+	// format= selects a codec explicitly; datadog arrives as protobuf.
+	datadog, _ := fetch(t, "/sketch?format=datadog", "", "application/x-protobuf")
+	if got := datadog.Count(); got != 1000 {
+		t.Errorf("datadog export count = %g, want 1000", got)
+	}
+
+	// Accept negotiation: an explicit registered type wins, wildcards
+	// and unregistered-then-registered lists fall through in order.
+	for _, c := range []struct{ accept, wantType string }{
+		{"application/x-protobuf", "application/x-protobuf"},
+		{"application/x-ddsketch", "application/x-ddsketch"},
+		{"*/*", "application/x-ddsketch"},
+		{"application/*", "application/x-ddsketch"},
+		{"text/html, application/x-protobuf;q=0.9", "application/x-protobuf"},
+	} {
+		sk, _ := fetch(t, "/sketch", c.accept, c.wantType)
+		if sk.Count() != 1000 {
+			t.Errorf("Accept %q: count = %g, want 1000", c.accept, sk.Count())
+		}
+	}
+
+	// Unknown format parameter: 400. Unsatisfiable Accept: 406. The
+	// format parameter wins over Accept.
+	getJSON(t, ts.URL+"/sketch?format=msgpack", http.StatusBadRequest)
+	resp406 := get(t, "/sketch", "text/html")
+	resp406.Body.Close()
+	if resp406.StatusCode != http.StatusNotAcceptable {
+		t.Errorf("unsatisfiable Accept: status %d, want 406", resp406.StatusCode)
+	}
+	if _, r := fetch(t, "/sketch?format=datadog", "application/x-ddsketch", "application/x-protobuf"); r == nil {
+		t.Error("format parameter should win over Accept")
+	}
+
+	// window=k narrows the export to the trailing k intervals.
+	clock.Advance(time.Minute)
+	postResp, err = http.Post(ts.URL+"/values", "text/plain", strings.NewReader("7 7 7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	recent, resp := fetch(t, "/sketch?window=1", "", "application/x-ddsketch")
+	if got := recent.Count(); got != 3 {
+		t.Errorf("window=1 export count = %g, want 3", got)
+	}
+	if got := resp.Header.Get("X-Ddsketch-Windows"); got != "1" {
+		t.Errorf("X-Ddsketch-Windows = %q, want 1", got)
+	}
+	getJSON(t, ts.URL+"/sketch?window=x", http.StatusBadRequest)
+
+	// The export round-trips into another server's /ingest: the paper's
+	// ship-and-merge loop closed over HTTP in both directions.
+	whole, _ := fetch(t, "/sketch", "", "application/x-ddsketch")
+	ts2, _, _ := newTestServer(t)
+	ingestResp, err := http.Post(ts2.URL+"/ingest", "application/x-ddsketch", bytes.NewReader(whole.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestResp.Body.Close()
+	if ingestResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("re-ingesting export: status %d", ingestResp.StatusCode)
+	}
+	out := getJSON(t, ts2.URL+"/stats", http.StatusOK)
+	if got := out["count"].(float64); got != 1003 {
+		t.Errorf("re-ingested count = %g, want 1003", got)
+	}
+
+	// Exports are counted per format on /stats and /metrics.
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	exports := stats["export_formats"].(map[string]any)
+	if got := exports["datadog"].(float64); got != 4 {
+		t.Errorf("export_formats.datadog = %g, want 4", got)
+	}
+	if exports["native"].(float64) == 0 {
+		t.Error("export_formats.native = 0, want > 0")
+	}
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `ddserver_sketches_exported_format_total{format="datadog"} 4`) {
+		t.Error("/metrics missing the per-format export counter")
 	}
 }

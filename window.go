@@ -39,7 +39,16 @@ type TimeWindowed struct {
 	start    time.Time // start of the current interval
 	now      func() time.Time
 	proto    *DDSketch // empty configuration template for merged results
+
+	// onRotate, when set, receives a deep copy of each interval that
+	// closes holding data — the library half of the ship-on-rotation
+	// agent loop. See SetRotateHook.
+	onRotate func(closed *DDSketch)
 }
+
+// maxDuration is the saturation value time.Time.Sub returns when the
+// true gap between two times overflows time.Duration (about 292 years).
+const maxDuration time.Duration = 1<<63 - 1
 
 // NewTimeWindowed returns an aggregator keeping `windows` intervals of
 // the given duration, all configured like prototype (which it takes
@@ -88,20 +97,67 @@ func (w *TimeWindowed) advance() {
 	if elapsed < w.interval {
 		return
 	}
+	// The current interval is over: hand it to the rotate hook before
+	// any slot is cleared or reused. Every older slot already fired its
+	// hook when it closed, so exactly one interval closes per rotation.
+	if w.onRotate != nil && !w.ring[w.head].IsEmpty() {
+		w.onRotate(w.ring[w.head].Copy())
+	}
 	steps := int64(elapsed / w.interval)
-	w.start = w.start.Add(time.Duration(steps) * w.interval)
-	n := int64(len(w.ring))
-	if steps >= n {
-		// The entire ring expired while idle.
+	if n := int64(len(w.ring)); steps >= n {
+		// The entire ring expired while idle: every slot clears exactly
+		// once, identically for any steps ≥ n, so clamp here — before
+		// any duration arithmetic scaled by steps.
 		for _, s := range w.ring {
 			s.Clear()
 		}
+		if elapsed == maxDuration {
+			// The gap overflowed time.Duration (Sub saturates), so the
+			// distance to the original grid anchor is unrecoverable;
+			// re-anchoring w.start a saturated step at a time would leave
+			// it decades behind now and make the next advance expire
+			// freshly added data. Restart the grid at the present reading.
+			w.start = w.now()
+		} else {
+			// Equal to steps*interval, computed without the multiply.
+			w.start = w.start.Add(elapsed - elapsed%w.interval)
+		}
 		return
 	}
+	// steps < len(ring) here, so the product cannot overflow.
+	w.start = w.start.Add(time.Duration(steps) * w.interval)
 	for ; steps > 0; steps-- {
 		w.head = (w.head + 1) % len(w.ring)
 		w.ring[w.head].Clear()
 	}
+}
+
+// SetRotateHook registers fn to receive a deep copy of each interval
+// that closes holding at least one value — the moment an agent in the
+// paper's §1 loop would ship its interval sketch. The hook fires inside
+// the rotation that closes the interval (rotation is lazy: it happens
+// on the first operation — or explicit Rotate — whose clock reading
+// falls in a later interval), synchronously and with the ring's lock
+// held: fn must hand the sketch off quickly and must not call back into
+// the TimeWindowed. The copy is owned by fn. Intervals that close empty
+// are not reported, and Clear discards without firing the hook.
+// Passing nil removes the hook.
+func (w *TimeWindowed) SetRotateHook(fn func(closed *DDSketch)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onRotate = fn
+}
+
+// Rotate advances the ring to the interval containing the clock's
+// present reading, firing the rotate hook if the current interval
+// closes. Rotation is otherwise implicit in every read and write, so an
+// idle sketch only notices a closed interval at its next operation;
+// periodic maintenance (such as cmd/ddserver's drain loop) calls Rotate
+// to close idle intervals promptly.
+func (w *TimeWindowed) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
 }
 
 // Add inserts a value into the current interval.

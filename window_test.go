@@ -326,3 +326,189 @@ func TestTimeWindowedConcurrent(t *testing.T) {
 	wg.Wait()
 	<-done
 }
+
+// jumpYears moves the clock far into the future in one step, bypassing
+// Advance's time.Duration parameter (which saturates at ~292 years).
+func (c *fakeClock) jumpYears(years int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.AddDate(years, 0, 0)
+}
+
+// TestTimeWindowedFarFutureClockJump: a clock jump larger than
+// time.Duration can represent (Sub saturates at ~292 years) must behave
+// exactly like any other whole-ring expiry — old data gone, the grid
+// re-anchored at the present — instead of leaving w.start centuries
+// behind now, which made the *next* operation expire freshly added
+// data.
+func TestTimeWindowedFarFutureClockJump(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Minute, 3)
+	for _, v := range []float64{1, 2, 3} {
+		if err := w.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 1000 years: one saturated Sub cannot span it, so a lazily
+	// re-anchored start would still trail now by centuries.
+	clock.jumpYears(1000)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after 1000-year gap = %g, want 0", got)
+	}
+	if err := w.Add(42); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count right after post-jump add = %g, want 1 (value expired by a stale grid anchor)", got)
+	}
+
+	// The ring rotates normally from its new anchor.
+	clock.Advance(time.Minute)
+	if err := w.Add(43); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count across two post-jump intervals = %g, want 2", got)
+	}
+	clock.Advance(10 * time.Minute)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after the post-jump ring expired = %g, want 0", got)
+	}
+
+	// A huge gap that still fits in a Duration keeps the original grid:
+	// the anchor stays interval-aligned after ~200 years of idleness.
+	w2, clock2 := newWindowedForTest(t, time.Minute, 3)
+	if err := w2.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	clock2.Advance(200 * 365 * 24 * time.Hour)
+	if got := w2.Count(); got != 0 {
+		t.Fatalf("count after 200-year gap = %g, want 0", got)
+	}
+	if err := w2.Add(5); err != nil {
+		t.Fatal(err)
+	}
+	clock2.Advance(59 * time.Second) // still inside the current interval
+	if got := w2.Count(); got != 1 {
+		t.Fatalf("count within the re-anchored interval = %g, want 1", got)
+	}
+}
+
+// TestTimeWindowedRotateHook: the hook receives a deep copy of exactly
+// the intervals that close non-empty, once each, in closing order —
+// whether the rotation is triggered by a write, a read, or an explicit
+// Rotate — and never for empty intervals or Clear.
+func TestTimeWindowedRotateHook(t *testing.T) {
+	w, clock := newWindowedForTest(t, time.Minute, 3)
+	var closed []*ddsketch.DDSketch
+	w.SetRotateHook(func(c *ddsketch.DDSketch) { closed = append(closed, c) })
+
+	// Interval 1: two values, closed by a write in interval 2.
+	_ = w.Add(1)
+	_ = w.Add(2)
+	clock.Advance(time.Minute)
+	_ = w.Add(10)
+	if len(closed) != 1 {
+		t.Fatalf("hooks after first rotation = %d, want 1", len(closed))
+	}
+	if got := closed[0].Count(); got != 2 {
+		t.Errorf("closed interval 1 count = %g, want 2", got)
+	}
+	if v, err := closed[0].Max(); err != nil || v != 2 {
+		t.Errorf("closed interval 1 max = %g (%v), want 2", v, err)
+	}
+
+	// The copy is independent: mutating it does not touch the ring.
+	_ = closed[0].Add(999)
+	if got := w.Count(); got != 3 {
+		t.Errorf("ring count after mutating the hook's copy = %g, want 3", got)
+	}
+
+	// Interval 2 closes via an explicit Rotate, not an operation.
+	clock.Advance(time.Minute)
+	w.Rotate()
+	if len(closed) != 2 {
+		t.Fatalf("hooks after explicit Rotate = %d, want 2", len(closed))
+	}
+	if got := closed[1].Count(); got != 1 {
+		t.Errorf("closed interval 2 count = %g, want 1", got)
+	}
+
+	// Interval 3 stays empty; rotating over it fires nothing.
+	clock.Advance(time.Minute)
+	w.Rotate()
+	if len(closed) != 2 {
+		t.Fatalf("hooks after empty interval closed = %d, want 2 (empty intervals are not shipped)", len(closed))
+	}
+
+	// A gap longer than the ring still reports the one interval that
+	// actually held data.
+	_ = w.Add(7)
+	clock.Advance(30 * time.Minute)
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after long gap = %g, want 0", got)
+	}
+	if len(closed) != 3 {
+		t.Fatalf("hooks after whole-ring expiry = %d, want 3", len(closed))
+	}
+	if got := closed[2].Count(); got != 1 {
+		t.Errorf("closed interval 4 count = %g, want 1", got)
+	}
+
+	// Clear discards without shipping.
+	_ = w.Add(8)
+	w.Clear()
+	if len(closed) != 3 {
+		t.Errorf("hooks after Clear = %d, want 3 (Clear must not ship)", len(closed))
+	}
+}
+
+// TestWindowedShardedRotateHookAndDrain: on the composed aggregate the
+// hook sees drained data, and Drain closes intervals even when the
+// shards are empty — an idle leaf must still ship its last interval.
+func TestWindowedShardedRotateHookAndDrain(t *testing.T) {
+	clock := newFakeClock()
+	s, err := ddsketch.NewSketch(
+		ddsketch.WithMaxBins(2048),
+		ddsketch.WithSharding(4),
+		ddsketch.WithWindow(time.Minute, 3),
+		ddsketch.WithClock(clock.Now),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s.(*ddsketch.WindowedSharded)
+	var closed []*ddsketch.DDSketch
+	ws.SetRotateHook(func(c *ddsketch.DDSketch) { closed = append(closed, c) })
+
+	if err := ws.AddBatch([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ws.Drain() // values reach the ring inside their own interval
+	clock.Advance(time.Minute)
+	// No new writes: only the empty-shard Drain path can close the
+	// interval and hand it to the hook.
+	ws.Drain()
+	if len(closed) != 1 {
+		t.Fatalf("hooks after idle Drain = %d, want 1", len(closed))
+	}
+	if got := closed[0].Count(); got != 3 {
+		t.Errorf("closed interval count = %g, want 3", got)
+	}
+
+	// Values left in the shards when the interval closes belong to the
+	// next interval, not the closing one.
+	if err := ws.Add(50); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	ws.Drain() // rotates first (closing an empty ring interval), then merges
+	clock.Advance(time.Minute)
+	ws.Drain()
+	if len(closed) != 2 {
+		t.Fatalf("hooks after shard-lag rotation = %d, want 2", len(closed))
+	}
+	if got := closed[1].Count(); got != 1 {
+		t.Errorf("lagged interval count = %g, want 1", got)
+	}
+}

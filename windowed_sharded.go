@@ -87,11 +87,30 @@ func (ws *WindowedSharded) Drain() {
 	defer ws.drainMu.Unlock()
 	flushed := ws.live.Flush()
 	if flushed.IsEmpty() {
+		// Nothing to merge, but the ring must still notice an interval
+		// boundary: an idle aggregate would otherwise never close its
+		// current interval (or fire the rotate hook) until the next write.
+		ws.ring.Rotate()
 		return
 	}
 	// Same mapping by construction, so the merge cannot fail.
 	_ = ws.ring.MergeWith(flushed)
 }
+
+// SetRotateHook registers fn to receive a deep copy of each window
+// interval that closes holding data; see TimeWindowed.SetRotateHook for
+// the contract. The hook observes only drained data — values still
+// sitting in the shards when an interval closes are attributed to the
+// next interval — so run a periodic Drain (cmd/ddserver does, at half
+// the interval) to keep what the hook ships aligned with arrival time.
+func (ws *WindowedSharded) SetRotateHook(fn func(closed *DDSketch)) {
+	ws.ring.SetRotateHook(fn)
+}
+
+// Rotate drains the live layer and advances the ring to the interval
+// containing the clock's present reading, firing the rotate hook if the
+// current interval closes; see TimeWindowed.Rotate.
+func (ws *WindowedSharded) Rotate() { ws.Drain() }
 
 // Add inserts a value into the live layer.
 func (ws *WindowedSharded) Add(value float64) error { return ws.live.Add(value) }
