@@ -44,7 +44,11 @@
 //	                      codec comes from format= or Accept negotiation
 //	GET  /quantile?q=0.5,0.99[&window=k]
 //	GET  /summary[?q=0.5,0.9,0.99][&window=k]
-//	GET  /summary?filter=service=api,endpoint=*   keyed roll-up ("*" = all + overflow)
+//	GET  /summary?filter=service=api,endpoint=*[&window=k]
+//	                      keyed roll-up ("*" = all + overflow), resolved
+//	                      through the registry's inverted label index;
+//	                      window=k restricts it to each series' trailing
+//	                      k intervals when -registry-windows is set
 //	GET  /stats
 //	GET  /metrics         Prometheus text format
 //	GET  /healthz
@@ -91,6 +95,10 @@ func main() {
 		"per-key sketch budget of the keyed registry (LRU-evicts into overflow beyond this)")
 	flag.Float64Var(&cfg.RegistryAdmission, "registry-admission", cfg.RegistryAdmission,
 		"estimated weight a key needs before earning its own sketch (<=0 admits immediately)")
+	flag.IntVar(&cfg.RegistryWindows, "registry-windows", cfg.RegistryWindows,
+		"per-key window ring size of the keyed registry (0 = unwindowed; series then retain their whole history)")
+	flag.DurationVar(&cfg.RegistryInterval, "registry-interval", cfg.RegistryInterval,
+		"duration of one keyed window interval (0 = inherit -window)")
 	flag.StringVar(&cfg.Forward.URL, "forward-url", cfg.Forward.URL,
 		"root /ingest URL to forward each closed window interval to (empty = no forwarding)")
 	flag.StringVar(&cfg.Forward.Format, "forward-format", cfg.Forward.Format,

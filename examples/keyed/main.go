@@ -109,7 +109,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		summary, matched, err := reg.RollUpSummary(f, 0.5, 0.99)
+		// The second argument is the trailing-window restriction; 0 means
+		// all retained data (and is the only meaningful value on an
+		// unwindowed registry like this one — see WithKeyWindow).
+		summary, matched, err := reg.RollUpSummary(f, 0, 0.5, 0.99)
 		if err == ddsketch.ErrEmptySketch {
 			fmt.Printf("%-28s no matching data\n", filter)
 			continue

@@ -112,6 +112,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promMetric(&b, "ddserver_registry_size_bytes", "gauge",
 		"Estimated in-memory footprint of the keyed registry.",
 		float64(st.SizeBytes))
+	promMetric(&b, "ddserver_registry_index_postings", "gauge",
+		"Distinct posting lists in the registry's inverted label index.",
+		float64(st.IndexPostings))
+	promMetric(&b, "ddserver_registry_windows", "gauge",
+		"Per-key window count of the keyed registry (0 = unwindowed).",
+		float64(st.Windows))
+	promMetric(&b, "ddserver_registry_rotations_total", "counter",
+		"Whole key-window intervals elapsed since the registry was built.",
+		float64(st.Rotations))
+	promMetric(&b, "ddserver_registry_expired_total", "counter",
+		"Windowed series dropped because every retained interval went empty.",
+		float64(st.Expired))
 
 	if fs, ok := s.ForwardStats(); ok {
 		promMetric(&b, "ddserver_forward_spool_depth", "gauge",

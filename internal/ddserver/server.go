@@ -66,6 +66,17 @@ type Config struct {
 	RegistrySketches  int     // max live per-key sketches
 	RegistryAdmission float64 // estimated weight before a key earns a sketch
 
+	// RegistryWindows, when positive, makes every keyed series
+	// time-windowed: a ring of that many per-interval sketches on one
+	// registry-wide rotation grid, so GET /summary?filter=…&window=k
+	// answers over the trailing k intervals and idle series age out.
+	// 0 (the default) keeps keyed series unwindowed — each retains its
+	// whole history and filtered window= parameters are ignored.
+	RegistryWindows int
+	// RegistryInterval is the duration of one keyed window interval;
+	// 0 means inherit the aggregate's Interval.
+	RegistryInterval time.Duration
+
 	// Forward, when its URL is non-empty, makes this server a leaf:
 	// every window interval that closes holding data is encoded and
 	// POSTed to the URL (a root server's /ingest endpoint).
@@ -201,13 +212,22 @@ func NewServer(cfg Config) (*Server, error) {
 	agg := sketch.(*ddsketch.WindowedSharded)
 	// Per-key sketches share the aggregate's mapping and bin-bound
 	// policy but not its sharding or windowing: the registry's segments
-	// provide the concurrency, and keyed series are retained until
-	// evicted into overflow rather than rotated out.
-	reg, err := registry.New(
+	// provide the concurrency, and retention is the registry's own —
+	// unwindowed by default (series live until evicted into overflow),
+	// or per-key interval rings when RegistryWindows is set.
+	regOpts := []registry.Option{
 		registry.WithMaxSketches(cfg.RegistrySketches),
 		registry.WithAdmissionThreshold(cfg.RegistryAdmission),
 		registry.WithSketchOptions(ddsketch.WithMapping(m), boundOpt),
-	)
+	}
+	if cfg.RegistryWindows > 0 {
+		interval := cfg.RegistryInterval
+		if interval <= 0 {
+			interval = cfg.Interval
+		}
+		regOpts = append(regOpts, registry.WithKeyWindow(cfg.RegistryWindows, interval, cfg.Now))
+	}
+	reg, err := registry.New(regOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +320,10 @@ func (s *Server) RunDrainLoop(tick <-chan time.Time, stop <-chan struct{}) {
 		select {
 		case <-tick:
 			s.agg.Drain()
+			// Keyed-plane maintenance rides the same tick: rotation is
+			// lazy per series, but Rotate also ages fully-idle windowed
+			// series out of the budget, which nothing else would trigger.
+			s.reg.Rotate()
 		case <-stop:
 			return
 		}
@@ -607,23 +631,27 @@ func parseQuantiles(qParam string) ([]float64, error) {
 	return qs, nil
 }
 
-// parseWindow parses the optional window=k parameter, clamped to the
-// retained window count (so responses report the range actually
-// merged). Absent means all retained windows.
-func (s *Server) parseWindow(r *http.Request) (int, error) {
-	trailing := s.agg.Windows()
+// parseWindowParam parses the optional window=k parameter, clamped to
+// the given retained window count (so responses report the range
+// actually merged). Absent means all retained windows.
+func parseWindowParam(r *http.Request, retained int) (int, error) {
 	winParam := r.URL.Query().Get("window")
 	if winParam == "" {
-		return trailing, nil
+		return retained, nil
 	}
 	k, err := strconv.Atoi(winParam)
 	if err != nil || k < 1 {
 		return 0, fmt.Errorf("invalid window %q", winParam)
 	}
-	if k < trailing {
-		trailing = k
+	if k < retained {
+		retained = k
 	}
-	return trailing, nil
+	return retained, nil
+}
+
+// parseWindow is parseWindowParam against the global aggregate's ring.
+func (s *Server) parseWindow(r *http.Request) (int, error) {
+	return parseWindowParam(r, s.agg.Windows())
 }
 
 // handleQuantile answers GET /quantile?q=0.5,0.99[&window=k], merging
@@ -681,8 +709,13 @@ var defaultSummaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
 // registry: filter=* merges every live series plus the overflow sketch
 // (evicted and pre-admission values), and filter=service=api,endpoint=*
 // merges the series matching every condition (a value of * requires
-// the label's presence with any value). Filtered summaries ignore
-// window= — keyed series are retained until evicted, not windowed.
+// the label's presence with any value) — resolved through the
+// registry's inverted label index, so a selective filter does not scan
+// every live series. On a windowed registry (-registry-windows),
+// window=k restricts the roll-up to each series' trailing k intervals
+// (clamped to the ring, echoed back as "windows"); on an unwindowed
+// registry, keyed series are retained until evicted and window= is
+// ignored.
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w, http.MethodGet)
@@ -703,7 +736,15 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		summary, matched, err := s.reg.RollUpSummary(f, qs...)
+		window := 0
+		if s.reg.Windows() > 0 {
+			window, err = parseWindowParam(r, s.reg.Windows())
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		summary, matched, err := s.reg.RollUpSummary(f, window, qs...)
 		switch {
 		case errors.Is(err, ddsketch.ErrEmptySketch):
 			writeError(w, http.StatusNotFound, err)
@@ -712,11 +753,15 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp := map[string]any{
 			"summary": summary,
 			"filter":  f.String(),
 			"matched": matched,
-		})
+		}
+		if s.reg.Windows() > 0 {
+			resp["windows"] = window
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	trailing, err := s.parseWindow(r)

@@ -1245,3 +1245,126 @@ func TestServerSketchExport(t *testing.T) {
 		t.Error("/metrics missing the per-format export counter")
 	}
 }
+
+// TestServerKeyedWindowedSummary exercises the windowed keyed plane end
+// to end: with RegistryWindows set, keyed series age on the registry's
+// rotation grid (inheriting the aggregate's interval),
+// GET /summary?filter=…&window=k narrows the roll-up to each series'
+// trailing k intervals, idle series expire, and the drain loop's tick
+// rotates the registry so expired series are pruned and counted.
+func TestServerKeyedWindowedSummary(t *testing.T) {
+	clock := newTestClock()
+	cfg := DefaultConfig()
+	cfg.Interval = time.Minute
+	cfg.Windows = 5
+	cfg.Shards = 4
+	cfg.Now = clock.Now
+	cfg.RegistryWindows = 3 // RegistryInterval = 0: inherit Interval
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(key, body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/values?key="+url.QueryEscape(key), "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST key=%s: status %d", key, resp.StatusCode)
+		}
+	}
+
+	// First interval: the api series takes three values. Second
+	// interval: one more api value, plus a web series.
+	post("service=api", "1 2 3")
+	clock.Advance(cfg.Interval)
+	post("service=api", "10")
+	post("service=web", "100")
+
+	// No window param: the full ring, echoed as the retained count.
+	out := getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api"), http.StatusOK)
+	if got := out["summary"].(map[string]any)["count"].(float64); got != 4 {
+		t.Errorf("full-ring count = %g, want 4", got)
+	}
+	if got := out["windows"].(float64); got != 3 {
+		t.Errorf("full-ring windows = %g, want 3", got)
+	}
+
+	// window=1 narrows to each series' newest interval.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api")+"&window=1", http.StatusOK)
+	summary := out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 1 {
+		t.Errorf("window=1 count = %g, want 1", got)
+	}
+	if got := summary["sum"].(float64); got != 10 {
+		t.Errorf("window=1 sum = %g, want 10", got)
+	}
+	if got := out["windows"].(float64); got != 1 {
+		t.Errorf("window=1 echoed windows = %g, want 1", got)
+	}
+
+	// An oversized window clamps to the ring, like the aggregate's.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api")+"&window=9", http.StatusOK)
+	if got := out["summary"].(map[string]any)["count"].(float64); got != 4 {
+		t.Errorf("window=9 count = %g, want 4 (clamped to ring)", got)
+	}
+	if got := out["windows"].(float64); got != 3 {
+		t.Errorf("window=9 echoed windows = %g, want 3", got)
+	}
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api")+"&window=0", http.StatusBadRequest)
+
+	// filter=* over the trailing interval: both series' newest slots.
+	out = getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("*")+"&window=1", http.StatusOK)
+	summary = out["summary"].(map[string]any)
+	if got := summary["count"].(float64); got != 2 {
+		t.Errorf("filter=* window=1 count = %g, want 2", got)
+	}
+	if got := summary["sum"].(float64); got != 110 {
+		t.Errorf("filter=* window=1 sum = %g, want 110", got)
+	}
+
+	// Three idle intervals age both rings out entirely; the read path's
+	// lazy catch-up finds nothing and reports 404 like an empty
+	// aggregate.
+	clock.Advance(3 * cfg.Interval)
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("service=api"), http.StatusNotFound)
+
+	// A drain-loop tick rotates the registry, pruning the aged-out
+	// series (nothing to merge — their rings are empty) and counting
+	// them as expired.
+	tick := make(chan time.Time)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.RunDrainLoop(tick, stop)
+	}()
+	tick <- time.Time{}
+	close(stop)
+	<-done
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	reg := stats["registry"].(map[string]any)
+	if got := reg["live_keys"].(float64); got != 0 {
+		t.Errorf("live_keys after expiry rotation = %g, want 0", got)
+	}
+	if got := reg["expired"].(float64); got != 2 {
+		t.Errorf("expired = %g, want 2", got)
+	}
+	if got := reg["windows"].(float64); got != 3 {
+		t.Errorf("registry windows = %g, want 3", got)
+	}
+	if got := reg["window_interval"].(string); got != "1m0s" {
+		t.Errorf("registry window_interval = %q, want 1m0s", got)
+	}
+	if got := reg["rotations"].(float64); got != 4 {
+		t.Errorf("rotations = %g, want 4", got)
+	}
+	if got := reg["index_postings"].(float64); got != 0 {
+		t.Errorf("index_postings after pruning = %g, want 0", got)
+	}
+}

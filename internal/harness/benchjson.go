@@ -28,8 +28,12 @@ import (
 // (pareto/keyed) with its live_keys / registry_bytes / rollup_ns_per_op
 // fields. Version 3 added one codec cell per registered wire format
 // (pareto/codec-native, pareto/codec-datadog) with encode_ns_per_op /
-// decode_ns_per_op / encoded_bytes fields.
-const BenchSchemaVersion = 3
+// decode_ns_per_op / encoded_bytes fields. Version 4 added the
+// windowed-registry cell (pareto/keyed-windowed: ingest under rotation,
+// trailing-window roll-up) and the filtered-roll-up cell
+// (pareto/keyed-filtered) with its scan_rollup_ns_per_op reference
+// timing.
+const BenchSchemaVersion = 4
 
 // BenchEntry is one dataset × mapping measurement.
 type BenchEntry struct {
@@ -58,6 +62,13 @@ type BenchEntry struct {
 	LiveKeys      int     `json:"live_keys,omitempty"`
 	RegistryBytes int     `json:"registry_bytes,omitempty"`
 	RollupNsPerOp float64 `json:"rollup_ns_per_op,omitempty"`
+
+	// Filtered-roll-up cell only (mapping "keyed-filtered"): the same
+	// constrained roll-up RollupNsPerOp times through the inverted label
+	// index, forced onto the reference full-scan path. The scan/index
+	// ratio is the index speedup CompareBench's cross-cell gate
+	// enforces. Zero elsewhere.
+	ScanRollupNsPerOp float64 `json:"scan_rollup_ns_per_op,omitempty"`
 
 	// Codec cells only (mapping "codec-<name>"): serialization cost of
 	// one registered wire format over a filled N-value sketch — whole
@@ -162,6 +173,22 @@ func RunBench(cfg Config) (BenchReport, error) {
 				return BenchReport{}, err
 			}
 			report.Entries = append(report.Entries, entry)
+			// The windowed variant of the same cell: per-key ring
+			// rotation on the ingest path, trailing-window roll-up on
+			// the read path.
+			windowed, err := benchKeyedWindowedEntry(dataset, values, sorted)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			report.Entries = append(report.Entries, windowed)
+			// The constrained roll-up cell: index path vs reference
+			// full scan over the same filled registry, feeding the
+			// cross-cell index-speedup gate.
+			filtered, err := benchKeyedFilteredEntry(dataset, values)
+			if err != nil {
+				return BenchReport{}, err
+			}
+			report.Entries = append(report.Entries, filtered)
 			// One cell per registered codec on the same dataset, gating
 			// wire-format encode/decode cost and payload stability.
 			codecEntries, err := benchCodecEntries(dataset, values)
@@ -377,6 +404,7 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 			// Zero outside their own cells, so the base>0 guard below
 			// skips the keyed and codec gates elsewhere.
 			{"rollup", b.RollupNsPerOp, cur.RollupNsPerOp},
+			{"scan-rollup", b.ScanRollupNsPerOp, cur.ScanRollupNsPerOp},
 			{"encode", b.EncodeNsPerOp, cur.EncodeNsPerOp},
 			{"decode", b.DecodeNsPerOp, cur.DecodeNsPerOp},
 		} {
@@ -451,6 +479,27 @@ func CompareBench(baseline, current BenchReport, tolerance float64) []string {
 					"pareto: cubic batch add (%.1f ns/op) is only %.2fx faster than log (%.1f ns/op); floor is %.1fx",
 					cubicCell.BatchAddNsPerOp, ratio, logCell.BatchAddNsPerOp, batchSpeedupFloor))
 			}
+		}
+	}
+	// Cross-cell gate for the inverted label index: a ~1%-selectivity
+	// roll-up resolved through posting lists must stay ≥5× faster than
+	// the reference full scan over the same registry. Both timings come
+	// from the keyed-filtered cell of the same report, so no calibration
+	// scaling applies. An index regression back to scan latency (e.g. a
+	// maintenance bug forcing the fallback path) trips this even when
+	// the absolute timing gates above still pass. Like the batch-speedup
+	// floor, it only applies at full sweep size — at smoke-test N the
+	// registry holds too few series for the ratio to mean anything.
+	const (
+		filteredSpeedupFloor    = 5.0
+		filteredSpeedupGateMinN = 100_000
+	)
+	if fc, ok := cur["pareto/keyed-filtered"]; ok && current.N >= filteredSpeedupGateMinN &&
+		fc.RollupNsPerOp > 0 && fc.ScanRollupNsPerOp > 0 {
+		if ratio := fc.ScanRollupNsPerOp / fc.RollupNsPerOp; ratio < filteredSpeedupFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"pareto: indexed filtered roll-up (%.0f ns/op) is only %.2fx faster than the full scan (%.0f ns/op); floor is %.1fx",
+				fc.RollupNsPerOp, ratio, fc.ScanRollupNsPerOp, filteredSpeedupFloor))
 		}
 	}
 	if matched == 0 {

@@ -44,11 +44,19 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 			}
 			continue
 		}
+		if e.Mapping == "keyed-filtered" {
+			// The filtered cell reuses the keyed fill and times only the
+			// constrained roll-up, once per path: index and full scan.
+			if e.RollupNsPerOp <= 0 || e.ScanRollupNsPerOp <= 0 || e.LiveKeys <= 0 {
+				t.Errorf("%s/%s: filtered cell missing measurements %+v", e.Dataset, e.Mapping, e)
+			}
+			continue
+		}
 		if e.AddNsPerOp <= 0 || e.BatchAddNsPerOp <= 0 {
 			t.Errorf("%s/%s: non-positive timing %+v", e.Dataset, e.Mapping, e)
 		}
-		if e.Mapping == "keyed" {
-			// The keyed cell times a roll-up instead of a two-sketch
+		if e.Mapping == "keyed" || e.Mapping == "keyed-windowed" {
+			// The keyed cells time a roll-up instead of a two-sketch
 			// merge, and must report the registry's cardinality state.
 			if e.RollupNsPerOp <= 0 || e.LiveKeys <= 0 || e.RegistryBytes <= 0 {
 				t.Errorf("%s/%s: keyed cell missing registry measurements %+v", e.Dataset, e.Mapping, e)
@@ -76,8 +84,10 @@ func TestRunBenchProducesCompleteReport(t *testing.T) {
 			t.Errorf("missing entry pareto/%s", m.name)
 		}
 	}
-	if !seen["pareto/keyed"] {
-		t.Error("missing keyed-registry entry pareto/keyed")
+	for _, cell := range []string{"keyed", "keyed-windowed", "keyed-filtered"} {
+		if !seen["pareto/"+cell] {
+			t.Errorf("missing keyed-registry entry pareto/%s", cell)
+		}
 	}
 	for _, codec := range ddsketch.Codecs() {
 		if !seen["pareto/codec-"+codec.Name()] {
@@ -289,6 +299,43 @@ func TestCompareBenchGates(t *testing.T) {
 		got = CompareBench(baseline, current, 0.25)
 		if len(got) != 1 || !strings.Contains(got[0], "wire format changed") {
 			t.Errorf("regressions = %v, want one payload-size drift error", got)
+		}
+	})
+
+	t.Run("filtered cell gates", func(t *testing.T) {
+		// The filtered cell adds a baseline-gated scan-path timing and a
+		// cross-cell floor: the index path must stay ≥5× faster than the
+		// scan within the same report (full sweep sizes only).
+		withFiltered := func(n int, rollup, scan float64) BenchReport {
+			r := benchFixture()
+			r.N = n
+			r.Entries = append(r.Entries, BenchEntry{
+				Dataset: "pareto", Mapping: "keyed-filtered", N: 1000,
+				LiveKeys: 100, RegistryBytes: 800_000,
+				RollupNsPerOp: rollup, ScanRollupNsPerOp: scan})
+			return r
+		}
+		baseline := withFiltered(200_000, 20_000, 100_000)
+		if got := CompareBench(baseline, withFiltered(200_000, 20_000, 100_000), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want none on identical filtered reports", got)
+		}
+		// The scan path is baseline-gated like any other timing.
+		current := withFiltered(200_000, 20_000, 140_000) // +40% > 25%
+		got := CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "scan-rollup") {
+			t.Errorf("regressions = %v, want one scan-rollup regression", got)
+		}
+		// Index only 4× faster than the scan: under the 5× floor (and
+		// exactly at the +25% timing tolerance, so only the floor fires).
+		current = withFiltered(200_000, 25_000, 100_000)
+		got = CompareBench(baseline, current, 0.25)
+		if len(got) != 1 || !strings.Contains(got[0], "floor is 5.0x") {
+			t.Errorf("regressions = %v, want one index-speedup-floor breach", got)
+		}
+		// At smoke-test N the ratio is noise and the floor stays quiet.
+		smoke := withFiltered(1000, 25_000, 100_000)
+		if got := CompareBench(smoke, withFiltered(1000, 25_000, 100_000), 0.25); len(got) != 0 {
+			t.Errorf("regressions = %v, want floor suppressed at smoke-test N", got)
 		}
 	})
 

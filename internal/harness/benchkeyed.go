@@ -125,7 +125,7 @@ func benchKeyedEntry(dataset string, values, sorted []float64) (BenchEntry, erro
 	best = time.Duration(math.MaxInt64)
 	for rep := 0; rep < benchReps; rep++ {
 		start := time.Now()
-		if _, _, err := filled.RollUpSummary(registry.MatchAll(), 0.5, 0.95, 0.99); err != nil {
+		if _, _, err := filled.RollUpSummary(registry.MatchAll(), 0, 0.5, 0.95, 0.99); err != nil {
 			return BenchEntry{}, err
 		}
 		if d := time.Since(start); d < best {
@@ -142,9 +142,18 @@ func benchKeyedEntry(dataset string, values, sorted []float64) (BenchEntry, erro
 	// values between per-key sketches and overflow but never drop them,
 	// so the match-all roll-up must answer within α like any single
 	// sketch over the same stream.
-	rollup, _, err := filled.RollUp(registry.MatchAll())
-	if err != nil {
+	if err := keyedRollupAccuracy(&entry, filled, sorted); err != nil {
 		return BenchEntry{}, err
+	}
+	return entry, nil
+}
+
+// keyedRollupAccuracy fills a keyed cell's bins/bytes/relative-error
+// fields from a full match-all roll-up against the sorted truth.
+func keyedRollupAccuracy(entry *BenchEntry, m *registry.SketchMap, sorted []float64) error {
+	rollup, _, err := m.RollUp(registry.MatchAll(), 0)
+	if err != nil {
+		return err
 	}
 	entry.Bins = rollup.NumBins()
 	entry.SketchBytes = rollup.SizeBytes()
@@ -154,9 +163,202 @@ func benchKeyedEntry(dataset string, values, sorted []float64) (BenchEntry, erro
 	}{{0.5, &entry.RelErrP50}, {0.95, &entry.RelErrP95}, {0.99, &entry.RelErrP99}} {
 		est, err := rollup.Quantile(probe.q)
 		if err != nil {
-			return BenchEntry{}, err
+			return err
 		}
 		*probe.dst = exact.RelativeError(est, exact.Quantile(sorted, probe.q))
 	}
+	return nil
+}
+
+// The windowed cell's ring shape: four retained intervals with three
+// rotations spread evenly across the stream, so every value stays
+// within the full trailing window and the match-all roll-up remains
+// α-comparable to the sorted truth.
+const (
+	benchKeyedWindows  = 4
+	benchKeyedInterval = time.Second
+)
+
+// benchClock is a hand-advanced clock. The windowed cell's rotation
+// grid must be a deterministic function of the stream position, not of
+// wall time, or the gated live-key count would drift run to run.
+type benchClock struct{ now time.Time }
+
+func (c *benchClock) Now() time.Time          { return c.now }
+func (c *benchClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// benchKeyedWindowedEntry measures the windowed variant of the keyed
+// cell: the same fan-out ingested into per-key window rings with the
+// rotation tick on the measured path, and a trailing-window roll-up —
+// "p99 over the last interval across every series" — on the read path.
+func benchKeyedWindowedEntry(dataset string, values, sorted []float64) (BenchEntry, error) {
+	nKeys, budget := keyedScale(len(values))
+	keys, err := benchKeyedLabelSets(nKeys)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	newRegistry := func() (*registry.SketchMap, *benchClock, error) {
+		clock := &benchClock{now: time.Unix(1_700_000_000, 0)}
+		// No admission decay here: each key sees the stream only a
+		// couple of times, so rotation-driven halvings would zero the
+		// count-min between touches and nothing would ever be admitted —
+		// the cell would measure pure overflow writes.
+		m, err := registry.New(
+			registry.WithKeyWindow(benchKeyedWindows, benchKeyedInterval, clock.Now),
+			registry.WithMaxSketches(budget),
+			registry.WithAdmissionThreshold(2),
+			registry.WithSketchOptions(
+				ddsketch.WithRelativeAccuracy(DDSketchAlpha),
+				ddsketch.WithMaxBins(DDSketchMaxBins),
+			),
+		)
+		return m, clock, err
+	}
+	entry := BenchEntry{Dataset: dataset, Mapping: "keyed-windowed", N: len(values)}
+
+	// quarter is the stream position between rotations: ceil(N/windows)
+	// caps the advances at windows-1 for any N, so no slot ever expires.
+	quarter := (len(values) + benchKeyedWindows - 1) / benchKeyedWindows
+
+	// Per-value windowed ingest: ring catch-up joins the hash + lock +
+	// admission work of the unwindowed cell, and each rotation runs the
+	// registry-wide expiry/decay sweep.
+	var filled *registry.SketchMap
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		m, clock, err := newRegistry()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		start := time.Now()
+		for i, v := range values {
+			if i > 0 && i%quarter == 0 {
+				clock.Advance(benchKeyedInterval)
+				m.Rotate()
+			}
+			_ = m.Add(keys[i%nKeys], v)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		filled = m
+	}
+	entry.AddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Windowed batch path, same rotation schedule.
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		m, clock, err := newRegistry()
+		if err != nil {
+			return BenchEntry{}, err
+		}
+		rotated := 0
+		start := time.Now()
+		for lo, k := 0, 0; lo < len(values); lo, k = lo+benchKeyedBatch, k+1 {
+			if lo >= (rotated+1)*quarter {
+				clock.Advance(benchKeyedInterval)
+				m.Rotate()
+				rotated++
+			}
+			hi := lo + benchKeyedBatch
+			if hi > len(values) {
+				hi = len(values)
+			}
+			_ = m.AddBatch(keys[k%nKeys], values[lo:hi])
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.BatchAddNsPerOp = float64(best.Nanoseconds()) / float64(len(values))
+
+	// Trailing-window roll-up: the newest ring slot of every live
+	// series, plus the (unwindowed) overflow sketch.
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		if _, _, err := filled.RollUpSummary(registry.MatchAll(), 1, 0.5, 0.95, 0.99); err != nil {
+			return BenchEntry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.RollupNsPerOp = float64(best.Nanoseconds())
+
+	stats := filled.Stats()
+	entry.LiveKeys = stats.LiveKeys
+	entry.RegistryBytes = stats.SizeBytes
+
+	// Accuracy over the full ring: three rotations never push a slot
+	// out of the four retained, so the window-0 match-all roll-up must
+	// cover the whole stream within α, exactly like the unwindowed cell.
+	if err := keyedRollupAccuracy(&entry, filled, sorted); err != nil {
+		return BenchEntry{}, err
+	}
+	return entry, nil
+}
+
+// benchKeyedFilteredEntry measures the constrained roll-up over a
+// registry filled exactly like the unwindowed keyed cell:
+// service=svc42 selects ~1% of live series, resolved once through the
+// inverted label index (RollUp walks the svc42 posting lists) and once
+// through the reference full scan (RollUpScan visits every live
+// entry). CompareBench's cross-cell floor holds the index path to ≥5×
+// the scan — a posting-maintenance bug that silently forces scans
+// fails the gate even if absolute latency stays within tolerance.
+func benchKeyedFilteredEntry(dataset string, values []float64) (BenchEntry, error) {
+	nKeys, budget := keyedScale(len(values))
+	keys, err := benchKeyedLabelSets(nKeys)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	m, err := registry.New(
+		registry.WithMaxSketches(budget),
+		registry.WithAdmissionThreshold(2),
+		registry.WithSketchOptions(
+			ddsketch.WithRelativeAccuracy(DDSketchAlpha),
+			ddsketch.WithMaxBins(DDSketchMaxBins),
+		),
+	)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	for i, v := range values {
+		_ = m.Add(keys[i%nKeys], v)
+	}
+	f, err := registry.ParseFilter("service=svc42")
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	entry := BenchEntry{Dataset: dataset, Mapping: "keyed-filtered", N: len(values)}
+
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		if _, _, err := m.RollUp(f, 0); err != nil {
+			return BenchEntry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.RollupNsPerOp = float64(best.Nanoseconds())
+
+	best = time.Duration(math.MaxInt64)
+	for rep := 0; rep < benchReps; rep++ {
+		start := time.Now()
+		if _, _, err := m.RollUpScan(f, 0); err != nil {
+			return BenchEntry{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	entry.ScanRollupNsPerOp = float64(best.Nanoseconds())
+
+	stats := m.Stats()
+	entry.LiveKeys = stats.LiveKeys
+	entry.RegistryBytes = stats.SizeBytes
 	return entry, nil
 }

@@ -64,10 +64,10 @@ func TestConformanceRegistryAdmissionThreshold(t *testing.T) {
 	if got := m.LiveKeys(); got != 1 {
 		t.Fatalf("LiveKeys = %d, want 1 (only the hot series crossed the threshold)", got)
 	}
-	if _, ok := m.Get(cold); ok {
+	if _, ok := m.Get(cold, 0); ok {
 		t.Error("cold series has a sketch below the admission threshold")
 	}
-	hotSketch, ok := m.Get(hot)
+	hotSketch, ok := m.Get(hot, 0)
 	if !ok {
 		t.Fatal("hot series not admitted")
 	}
@@ -84,7 +84,7 @@ func TestConformanceRegistryAdmissionThreshold(t *testing.T) {
 		t.Errorf("overflow weight = %g, want 7", stats.OverflowWeight)
 	}
 	// No data dropped: the match-all roll-up sees all 13 values.
-	summary, matched, err := m.RollUpSummary(MatchAll(), 0.5)
+	summary, matched, err := m.RollUpSummary(MatchAll(), 0, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestConformanceRegistryAdmissionThreshold(t *testing.T) {
 		t.Errorf("roll-up matched/count = %d/%g, want 1/13", matched, summary.Count)
 	}
 	// A constrained filter covers only labeled (admitted) data.
-	if _, matched, err := m.RollUpSummary(mustFilter(t, "endpoint=/cold")); !errors.Is(err, ddsketch.ErrEmptySketch) || matched != 0 {
+	if _, matched, err := m.RollUpSummary(mustFilter(t, "endpoint=/cold"), 0); !errors.Is(err, ddsketch.ErrEmptySketch) || matched != 0 {
 		t.Errorf("cold roll-up = %v, matched %d; want ErrEmptySketch, 0", err, matched)
 	}
 }
@@ -138,7 +138,7 @@ func TestConformanceRegistryEvictionPreservesGlobal(t *testing.T) {
 	if stats := m.Stats(); stats.Evicted == 0 {
 		t.Fatal("expected evictions under a budget of 8 with 64 keys")
 	}
-	rollup, matched, err := m.RollUp(MatchAll())
+	rollup, matched, err := m.RollUp(MatchAll(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,14 +216,14 @@ func TestConformanceRegistryRollupMatchesManualMerge(t *testing.T) {
 	}
 	live := 0
 	for _, key := range keys {
-		if sk, ok := m.Get(key); ok {
+		if sk, ok := m.Get(key, 0); ok {
 			live++
-			if err := manual.MergeWith(sk); err != nil {
+			if err := manual.MergeWith(sk.Snapshot()); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	rollup, matched, err := m.RollUp(MatchAll())
+	rollup, matched, err := m.RollUp(MatchAll(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestConformanceRegistryFilterRollup(t *testing.T) {
 		{"service=db", 0, 0},
 	}
 	for _, c := range cases {
-		summary, matched, err := m.RollUpSummary(mustFilter(t, c.filter), 0.5)
+		summary, matched, err := m.RollUpSummary(mustFilter(t, c.filter), 0, 0.5)
 		if c.wantMatched == 0 {
 			if !errors.Is(err, ddsketch.ErrEmptySketch) || matched != 0 {
 				t.Errorf("filter %q: err=%v matched=%d, want empty", c.filter, err, matched)
@@ -323,7 +323,7 @@ func TestConformanceRegistryUniformTemplate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	summary, _, err := m.RollUpSummary(MatchAll(), 0.5, 0.95, 0.99)
+	summary, _, err := m.RollUpSummary(MatchAll(), 0, 0.5, 0.95, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,18 +385,18 @@ func TestConformanceRegistryConcurrent(t *testing.T) {
 					return
 				}
 				if i%500 == 0 {
-					if _, _, err := m.RollUp(MatchAll()); err != nil {
+					if _, _, err := m.RollUp(MatchAll(), 0); err != nil {
 						t.Error(err)
 						return
 					}
 					_ = m.Stats()
-					_, _ = m.Get(shared[i%keys])
+					_, _ = m.Get(shared[i%keys], 0)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	rollup, _, err := m.RollUp(MatchAll())
+	rollup, _, err := m.RollUp(MatchAll(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +410,7 @@ func TestConformanceRegistryConcurrent(t *testing.T) {
 	if m.LiveKeys() != 0 || m.Stats().OverflowWeight != 0 {
 		t.Error("Clear left data behind")
 	}
-	if _, _, err := m.RollUpSummary(MatchAll()); !errors.Is(err, ddsketch.ErrEmptySketch) {
+	if _, _, err := m.RollUpSummary(MatchAll(), 0); !errors.Is(err, ddsketch.ErrEmptySketch) {
 		t.Errorf("post-Clear roll-up error = %v, want ErrEmptySketch", err)
 	}
 }
@@ -485,9 +485,12 @@ func TestRegistryAdversarialCardinality(t *testing.T) {
 	// Worst-case footprint from the configuration alone: every live
 	// sketch at its uniform bin cap (8 bytes per bin across two stores,
 	// with dense-store growth slack and fixed fields), plus per-segment
-	// overflow and admission sketches, plus per-series bookkeeping.
+	// overflow and admission sketches, plus per-series bookkeeping and
+	// the inverted-index postings each live series contributes (one
+	// unique tenant=tN posting plus shared-list references).
 	perSketchCap := uniformBins*2*8 + 2048
-	bound := budget*(perSketchCap+entryOverhead+64) + segments*(perSketchCap+cmDepth*cmWidth*8+4096)
+	perSeriesIndex := 64 + postingOverhead + 4*postingRefOverhead
+	bound := budget*(perSketchCap+entryOverhead+64+perSeriesIndex) + segments*(perSketchCap+cmDepth*cmWidth*8+4096)
 	if stats.SizeBytes > bound {
 		t.Fatalf("SizeBytes = %d exceeds the configured worst case %d", stats.SizeBytes, bound)
 	}
@@ -495,7 +498,7 @@ func TestRegistryAdversarialCardinality(t *testing.T) {
 		stats.LiveKeys, stats.Admitted, stats.Evicted, stats.OverflowedValues,
 		float64(stats.SizeBytes)/1e6, float64(bound)/1e6)
 
-	summary, _, err := m.RollUpSummary(MatchAll(), 0.01, 0.5, 0.95, 0.99)
+	summary, _, err := m.RollUpSummary(MatchAll(), 0, 0.01, 0.5, 0.95, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,11 @@
 package registry
 
 import (
+	"bytes"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // FuzzLabelSetRoundTrip asserts the canonicalization contract over
@@ -130,6 +133,96 @@ func FuzzFilterMatch(f *testing.F) {
 		}
 		if !self.Matches(series) {
 			t.Fatalf("series %q does not match its own filter", series.String())
+		}
+	})
+}
+
+// FuzzInvertedIndexConsistency replays an arbitrary interleaving of
+// installs (admission-gated adds across a small key universe), clock
+// advances, rotations, and budget evictions against a windowed
+// registry, then asserts the correctness contract of the inverted
+// label index: for every filter and trailing window, the index-driven
+// roll-up is bin-identical (same matched count, same encoded bytes) to
+// the reference full scan. Any install/evict/expire path that forgets
+// to maintain a posting list shows up here as a divergence.
+func FuzzInvertedIndexConsistency(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{3, 3, 3, 3})                          // clock advances only
+	f.Add(bytes.Repeat([]byte{0, 40, 80, 120}, 32))    // heavy installs, one gen
+	f.Add(bytes.Repeat([]byte{0, 3, 160, 4, 200}, 20)) // add/advance/rotate mix
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		clock := newFakeClock()
+		m, err := New(
+			WithKeyWindow(3, time.Second, clock.Now),
+			WithMaxSketches(8),        // small budget: evictions are routine
+			WithAdmissionThreshold(2), // gating on: not every add installs
+			WithAdmissionDecay(1),
+			WithSegments(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A small key universe so filters hit several keys per segment:
+		// 24 keys over service × endpoint × zone.
+		keys := make([]LabelSet, 24)
+		for i := range keys {
+			ls, err := NewLabelSet(
+				Label{Name: "service", Value: "svc" + strconv.Itoa(i%3)},
+				Label{Name: "endpoint", Value: "/ep" + strconv.Itoa(i%8)},
+				Label{Name: "zone", Value: "z" + strconv.Itoa(i%2)},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys[i] = ls
+		}
+		for _, b := range data {
+			switch b % 8 {
+			case 3:
+				clock.Advance(500 * time.Millisecond)
+			case 4:
+				m.Rotate()
+			default:
+				key := keys[int(b>>3)%len(keys)]
+				if err := m.AddWithCount(key, 1+float64(b%7), 1+float64(b%3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		filters := []string{
+			"service=svc0",
+			"service=svc1,zone=z1",
+			"endpoint=/ep5",
+			"endpoint=*",
+			"service=svc2,endpoint=*,zone=z0",
+			"service=absent",
+		}
+		for _, fs := range filters {
+			filter, err := ParseFilter(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, window := range []int{0, 1, 3} {
+				idx, nIdx, ierr := m.RollUp(filter, window)
+				scan, nScan, serr := m.RollUpScan(filter, window)
+				if (ierr == nil) != (serr == nil) {
+					t.Fatalf("filter %q window %d: index err %v, scan err %v", fs, window, ierr, serr)
+				}
+				if nIdx != nScan {
+					t.Fatalf("filter %q window %d: index matched %d, scan matched %d", fs, window, nIdx, nScan)
+				}
+				if ierr != nil {
+					continue
+				}
+				if !bytes.Equal(idx.Encode(), scan.Encode()) {
+					t.Fatalf("filter %q window %d: index and scan roll-ups diverge (matched %d)", fs, window, nIdx)
+				}
+			}
 		}
 	})
 }

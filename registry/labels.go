@@ -20,9 +20,21 @@
 //     into the overflow sketch (an exact merge) and its slot reused.
 //   - Roll-ups: RollUp merges every live key matching a tag filter in
 //     one pass; the match-all filter "*" additionally folds in the
-//     overflow sketch, so RollUp(MatchAll()) answers exactly as a
+//     overflow sketch, so RollUp(MatchAll(), 0) answers exactly as a
 //     single unkeyed sketch fed the same stream would (within the
 //     sketch's accuracy bound).
+//
+// Two further layers make the keyed plane time- and filter-aware:
+//
+//   - Windowed series (WithKeyWindow): every per-key entry becomes a
+//     ring of per-interval sketches on one shared rotation grid, so
+//     reads answer "over the trailing k intervals" consistently across
+//     keys, rotation drives admission decay, and idle series age out.
+//   - Inverted label index: each segment maintains name=value (and
+//     name-presence) posting lists under its lock, so a constrained
+//     roll-up walks the smallest posting list of its filter instead of
+//     scanning every live key — sub-linear filtered reads at high
+//     cardinality, verified bin-identical to the full scan.
 package registry
 
 import (

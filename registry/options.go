@@ -3,6 +3,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/ddsketch-go/ddsketch"
 )
@@ -31,6 +32,9 @@ type config struct {
 	cmDepth     int
 	cmWidth     int
 	decayEvery  int
+	keyWindows  int
+	keyInterval time.Duration
+	clock       func() time.Time
 	template    []ddsketch.Option
 }
 
@@ -114,12 +118,23 @@ func WithAdmissionSketch(depth, width int) Option {
 	}
 }
 
-// WithAdmissionDecay halves every admission counter after each `every`
-// pre-admission observations per segment, turning the accumulated-
-// weight estimate into a rate estimate: a series must keep arriving to
-// clear the threshold, and one that goes quiet ages out of admission
-// range. 0 (the default) disables decay — the threshold then gates on
-// total accumulated weight.
+// WithAdmissionDecay turns the accumulated-weight admission estimate
+// into a rate estimate by periodically halving every admission counter:
+// a series must keep arriving to clear the threshold, and one that goes
+// quiet ages out of admission range. What drives the halvings depends
+// on the registry's time-awareness:
+//
+//   - On a windowed registry (WithKeyWindow), decay rides the rotation
+//     tick: counters halve once per `every` elapsed intervals, so the
+//     estimate approximates weight-per-(every × interval) wall-clock
+//     rate and a formerly-hot key stops being admitted after enough
+//     idle rotations.
+//   - On an unwindowed registry, counters halve after each `every`
+//     pre-admission observations per segment — an arrival-count proxy
+//     for time.
+//
+// 0 (the default) disables decay — the threshold then gates on total
+// accumulated weight.
 func WithAdmissionDecay(every int) Option {
 	return func(c *config) error {
 		if every < 0 {
@@ -133,13 +148,46 @@ func WithAdmissionDecay(every int) Option {
 // WithSketchOptions sets the shared template every per-key sketch (and
 // each segment's overflow sketch) is built from — any combination
 // ddsketch.NewSketch accepts: accuracy, mapping, bin bounds, uniform
-// collapse, even windowing. All sketches sharing the template share a
-// mapping lineage, which is what keeps eviction merges and roll-ups
-// exact. Per-key sketches are only ever touched under their segment's
-// lock, so the template needs no concurrency options of its own.
+// collapse. All sketches sharing the template share a mapping lineage,
+// which is what keeps eviction merges and roll-ups exact. Per-key
+// sketches are only ever touched under their segment's lock, so the
+// template needs no concurrency options of its own — and under
+// WithKeyWindow it must not have any: New rejects templates carrying
+// WithMutex, WithSharding, or WithWindow when per-key rings provide
+// the windowing (the validation happens at New, not on first Add).
 func WithSketchOptions(opts ...ddsketch.Option) Option {
 	return func(c *config) error {
 		c.template = opts
+		return nil
+	}
+}
+
+// WithKeyWindow makes every per-key series time-windowed: a ring of
+// `windows` sketches, one per `interval` of wall-clock time, all series
+// sharing one registry-level clock and rotation grid anchored when New
+// returns. Reads (Get, RollUp, RollUpSummary) then accept a trailing-
+// window parameter — "the last k intervals" means the same wall-clock
+// span for every series — and the rotation tick also drives admission
+// decay (see WithAdmissionDecay) and ages idle series out entirely
+// (see SketchMap.Rotate). Rotation is lazy and O(1) per series touch:
+// no background goroutine is started.
+//
+// clock overrides the time source (nil means time.Now); inject a fake
+// clock in tests to control rotation deterministically.
+//
+// The default (no WithKeyWindow) keeps per-key series unwindowed —
+// each holds its whole history and window parameters are ignored.
+func WithKeyWindow(windows int, interval time.Duration, clock func() time.Time) Option {
+	return func(c *config) error {
+		if windows < 1 {
+			return fmt.Errorf("%w: key window count must be at least 1, got %d", ErrInvalidOption, windows)
+		}
+		if interval <= 0 {
+			return fmt.Errorf("%w: key window interval must be positive, got %v", ErrInvalidOption, interval)
+		}
+		c.keyWindows = windows
+		c.keyInterval = interval
+		c.clock = clock
 		return nil
 	}
 }
