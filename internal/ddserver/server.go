@@ -736,13 +736,14 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		window := 0
-		if s.reg.Windows() > 0 {
-			window, err = parseWindowParam(r, s.reg.Windows())
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
+		// Validate the window parameter unconditionally — a malformed
+		// window=x is a 400 whether or not the registry is windowed; on an
+		// unwindowed registry (Windows() == 0) a valid value clamps to 0
+		// and the roll-up ignores it.
+		window, err := parseWindowParam(r, s.reg.Windows())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		summary, matched, err := s.reg.RollUpSummary(f, window, qs...)
 		switch {

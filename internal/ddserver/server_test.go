@@ -759,6 +759,11 @@ func TestServerKeyedIngest(t *testing.T) {
 		t.Errorf("bad key: status %d, want 400", resp.StatusCode)
 	}
 	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("a=1,a=2"), http.StatusBadRequest)
+	// The window parameter is validated even though this registry is
+	// unwindowed: malformed values are 400s, valid ones are accepted
+	// (and ignored by the roll-up).
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("*")+"&window=abc", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/summary?filter="+url.QueryEscape("*")+"&window=3", http.StatusOK)
 
 	// /stats reports the keyed plane.
 	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)

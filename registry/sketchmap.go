@@ -56,8 +56,14 @@ type entry struct {
 // clearing expired slots in place (at most once each, however large the
 // gap). Unwindowed entries ignore it. Callers must hold the segment
 // lock.
+//
+// A gen older than the entry's is treated as already-current: callers
+// sample the registry clock before taking the segment lock, so at an
+// interval boundary an operation can arrive with a generation a
+// concurrent writer has already advanced past. Rotating by the wrapped
+// difference would clear the entire retained ring.
 func (e *entry) catchUp(gen uint64) {
-	if e.ring == nil || gen == e.gen {
+	if e.ring == nil || gen <= e.gen {
 		return
 	}
 	steps := gen - e.gen
@@ -513,8 +519,14 @@ func (m *SketchMap) admitLocked(seg *segment, hash uint64, weight float64, gen u
 
 // decayToGeneration applies every rotation-driven admission decay due
 // between the segment's last decay and gen: one halving per `every`
-// intervals elapsed. Callers must hold the segment lock.
+// intervals elapsed. Callers must hold the segment lock. A gen at or
+// behind the last decay is a no-op — callers sample the clock before
+// locking, so a stale generation must not underflow the subtraction
+// and wipe the admission state.
 func (seg *segment) decayToGeneration(gen uint64, every int) {
+	if gen <= seg.decayGen {
+		return
+	}
 	due := (gen - seg.decayGen) / uint64(every)
 	if due == 0 {
 		return
@@ -559,16 +571,47 @@ func (m *SketchMap) evictLocked(seg *segment, gen uint64) error {
 		return nil
 	}
 	victim := back.Value.(*entry)
+	victim.catchUp(gen)
+	// Fold the victim into overflow before touching any bookkeeping, so
+	// a failed merge leaves it live (and still LRU-back, to be retried by
+	// the next install) instead of dropping retained intervals.
+	if err := m.foldIntoOverflowLocked(seg, victim); err != nil {
+		return err
+	}
 	seg.lru.Remove(back)
 	key := victim.labels.String()
 	delete(seg.entries, key)
 	seg.indexRemove(key, victim)
 	m.live.Add(-1)
 	m.evicted.Add(1)
-	victim.catchUp(gen)
-	return victim.forEachTrailing(0, func(s *ddsketch.DDSketch) error {
-		return seg.overflow.MergeWith(s)
+	return nil
+}
+
+// foldIntoOverflowLocked merges an entry's retained data into the
+// segment's overflow sketch as one atomic step: a windowed ring is
+// collapsed into a scratch sketch first, so overflow sees a single
+// MergeWith (which validates compatibility before mutating) and a
+// failure part-way through the ring cannot leave some intervals merged
+// and others dropped. Callers must hold the segment lock and have
+// caught the entry up.
+func (m *SketchMap) foldIntoOverflowLocked(seg *segment, e *entry) error {
+	if e.ring == nil {
+		return e.forEachTrailing(0, func(s *ddsketch.DDSketch) error {
+			return seg.overflow.MergeWith(s)
+		})
+	}
+	var scratch *ddsketch.DDSketch
+	err := e.forEachTrailing(0, func(s *ddsketch.DDSketch) error {
+		if scratch == nil {
+			scratch = s.Copy()
+			return nil
+		}
+		return scratch.MergeWith(s)
 	})
+	if err != nil || scratch == nil {
+		return err
+	}
+	return seg.overflow.MergeWith(scratch)
 }
 
 // Rotate advances the registry to the rotation generation containing

@@ -593,3 +593,148 @@ func TestRegistryIndexedRollupMatchesScan(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryStaleGenerationKeepsRing: operations sample the registry
+// clock before taking the segment lock, so at an interval boundary an
+// operation can reach an entry with a generation older than the one a
+// concurrent writer already advanced it to. Simulated here by rewinding
+// the fake clock, the stale generation must be treated as
+// already-current — not underflow the rotation step count and clear the
+// series' whole retained ring.
+func TestRegistryStaleGenerationKeepsRing(t *testing.T) {
+	clock := newFakeClock()
+	m, err := New(
+		WithKeyWindow(3, time.Second, clock.Now),
+		WithAdmissionThreshold(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustLabelSet(t, "k=a")
+	clock.Advance(time.Second) // generation 1
+	if err := m.Add(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(-time.Second) // stale sample: generation 0 again
+
+	// A stale read must not clear the ring.
+	sk, ok := m.Get(a, 0)
+	if !ok || sk.Count() != 1 {
+		t.Fatalf("stale Get: ok=%v count=%g, want true/1", ok, sk.Count())
+	}
+	// A stale write lands in the entry's current interval instead of
+	// rotating the ring backwards.
+	if err := m.Add(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A stale Rotate must not expire the series.
+	m.Rotate()
+	if m.LiveKeys() != 1 {
+		t.Fatalf("LiveKeys = %d after stale Rotate, want 1", m.LiveKeys())
+	}
+	clock.Advance(time.Second) // back to generation 1
+	if sk, ok = m.Get(a, 1); !ok || sk.Count() != 2 {
+		t.Fatalf("trailing-1 after catch-up: ok=%v count=%g, want true/2", ok, sk.Count())
+	}
+}
+
+// TestRegistryStaleGenerationKeepsAdmissionState: the rotation-driven
+// admission decay has the same boundary hazard — an admission check
+// holding a stale generation must not underflow the due-halvings count
+// and reset the segment's count-min state (which would make hot keys
+// fail admission and divert their values to overflow).
+func TestRegistryStaleGenerationKeepsAdmissionState(t *testing.T) {
+	clock := newFakeClock()
+	m, err := New(
+		WithKeyWindow(4, time.Second, clock.Now),
+		WithAdmissionThreshold(4),
+		WithAdmissionDecay(1),
+		WithSegments(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := mustLabelSet(t, "k=hot")
+	clock.Advance(time.Second) // generation 1; first add decays to it
+	for i := 0; i < 3; i++ {
+		if err := m.Add(hot, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.LiveKeys() != 0 {
+		t.Fatalf("LiveKeys = %d below threshold, want 0", m.LiveKeys())
+	}
+	clock.Advance(-time.Second) // stale sample: generation 0 < decay generation 1
+	// The fourth unit of weight crosses the threshold — unless the stale
+	// generation wiped the count-min counters.
+	if err := m.Add(hot, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(hot, 0); !ok {
+		t.Fatal("hot key not admitted: stale generation reset the admission state")
+	}
+}
+
+// TestRegistryEvictMergeFailureKeepsVictim: if folding an eviction
+// victim into overflow fails, the victim must stay live with all its
+// retained data — eviction never loses data, even on the error path.
+// Forced here by sabotaging a segment's overflow sketch with an
+// incompatible mapping (impossible through the public API, where every
+// sketch shares the template's lineage).
+func TestRegistryEvictMergeFailureKeepsVictim(t *testing.T) {
+	clock := newFakeClock()
+	m, err := New(
+		WithKeyWindow(2, time.Second, clock.Now),
+		WithMaxSketches(1),
+		WithAdmissionThreshold(0),
+		WithSegments(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustLabelSet(t, "k=a")
+	if err := m.Add(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	seg := m.segs[0]
+	goodOverflow := seg.overflow
+	badOverflow, err := ddsketch.NewSketch(ddsketch.WithRelativeAccuracy(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.overflow = badOverflow
+
+	// Installing b exceeds the budget and tries to evict a; the merge
+	// into the sabotaged overflow fails and must surface as an error
+	// while leaving a live and untouched.
+	b := mustLabelSet(t, "k=b")
+	if err := m.Add(b, 2); err == nil {
+		t.Fatal("Add returned nil, want the eviction merge error")
+	}
+	if sk, ok := m.Get(a, 0); !ok || sk.Count() != 1 {
+		t.Fatalf("victim after failed evict: ok=%v count=%g, want true/1", ok, sk.Count())
+	}
+	if sk, ok := m.Get(b, 0); !ok || sk.Count() != 1 {
+		t.Fatalf("installed series after failed evict: ok=%v count=%g, want true/1", ok, sk.Count())
+	}
+	if st := m.Stats(); st.Evicted != 0 {
+		t.Fatalf("Evicted = %d after failed merge, want 0", st.Evicted)
+	}
+
+	// With a compatible overflow restored, the next install retries the
+	// eviction and a's data lands in overflow whole.
+	seg.overflow = goodOverflow
+	if err := m.Add(mustLabelSet(t, "k=c"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Evicted != 1 {
+		t.Fatalf("Evicted = %d after retry, want 1", st.Evicted)
+	}
+	overflow, err := m.Overflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overflow.Count() != 1 {
+		t.Fatalf("overflow count = %g after retried evict, want 1 (a's value)", overflow.Count())
+	}
+}
